@@ -1,0 +1,94 @@
+// Command bcastbench sweeps broadcast algorithms over message sizes on a
+// simulated cluster and prints the measured execution times — the raw
+// experimental curves behind the paper's figures.
+//
+// Usage:
+//
+//	bcastbench [-cluster grisou] [-np 90] [-algs binomial,binary] \
+//	           [-min 8192] [-max 4194304] [-points 10] [-seg 8192]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bcastbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	clusterName := flag.String("cluster", "grisou", "cluster profile (grisou, gros)")
+	np := flag.Int("np", 0, "number of processes (default: whole cluster)")
+	algsFlag := flag.String("algs", "", "comma-separated algorithms (default: all six)")
+	minM := flag.Int("min", 8192, "smallest message size in bytes")
+	maxM := flag.Int("max", 4<<20, "largest message size in bytes")
+	points := flag.Int("points", 10, "number of log-spaced sizes")
+	seg := flag.Int("seg", 0, "segment size (default: the platform's 8 KB)")
+	flag.Parse()
+
+	pr, err := cluster.ByName(*clusterName)
+	if err != nil {
+		return err
+	}
+	if *np == 0 {
+		*np = pr.Nodes
+	}
+	if *np < 2 || *np > pr.Nodes {
+		return fmt.Errorf("np %d outside 2..%d", *np, pr.Nodes)
+	}
+	if *seg == 0 {
+		*seg = pr.SegmentSize
+	}
+	if *minM <= 0 || *maxM < *minM || *points < 1 {
+		return fmt.Errorf("invalid size sweep: min=%d max=%d points=%d", *minM, *maxM, *points)
+	}
+
+	var algs []coll.BcastAlgorithm
+	if *algsFlag == "" {
+		algs = coll.BcastAlgorithms()
+	} else {
+		for _, name := range strings.Split(*algsFlag, ",") {
+			alg, err := coll.ParseBcastAlgorithm(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			algs = append(algs, alg)
+		}
+	}
+
+	sizes := stats.LogSpaceBytes(*minM, *maxM, *points)
+	set := experiment.DefaultSettings()
+
+	fmt.Printf("broadcast sweep on %s, P=%d, segment=%d B\n", pr.Name, *np, *seg)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprint(w, "m (bytes)")
+	for _, alg := range algs {
+		fmt.Fprintf(w, "\t%v (s)", alg)
+	}
+	fmt.Fprintln(w)
+	for _, m := range sizes {
+		fmt.Fprintf(w, "%d", m)
+		for _, alg := range algs {
+			meas, err := experiment.MeasureBcast(pr, *np, alg, m, *seg, set)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.6f", meas.Mean)
+		}
+		fmt.Fprintln(w)
+		w.Flush()
+	}
+	return nil
+}

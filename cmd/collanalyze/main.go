@@ -1,0 +1,82 @@
+// Command collanalyze runs one broadcast on the simulated cluster with
+// transfer tracing enabled and explains where the time went: per-port
+// bottlenecks, a send-port activity timeline, and the reconstructed
+// critical path. It is the companion to the analytical models — when two
+// algorithms are close, the trace shows which phase separates them.
+//
+// Usage:
+//
+//	collanalyze [-cluster grisou] [-np 16] [-alg binomial] [-m 1048576] [-seg 8192]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/mpi"
+	"mpicollperf/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "collanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	clusterName := flag.String("cluster", "grisou", "cluster profile (grisou, gros)")
+	np := flag.Int("np", 16, "number of processes")
+	algName := flag.String("alg", "binomial", "broadcast algorithm")
+	m := flag.Int("m", 1<<20, "message size in bytes")
+	seg := flag.Int("seg", 0, "segment size (default: platform's 8 KB)")
+	width := flag.Int("width", 72, "timeline width in characters")
+	flag.Parse()
+
+	pr, err := cluster.ByName(*clusterName)
+	if err != nil {
+		return err
+	}
+	if *np < 2 || *np > pr.Nodes {
+		return fmt.Errorf("np %d outside 2..%d", *np, pr.Nodes)
+	}
+	if *seg == 0 {
+		*seg = pr.SegmentSize
+	}
+	alg, err := coll.ParseBcastAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	// Noise off: a single traced run should be the platonic execution.
+	pr.Net.NoiseAmplitude = 0
+	net, err := pr.Network()
+	if err != nil {
+		return err
+	}
+	col := trace.Attach(net)
+	res, err := mpi.RunOn(net, *np, func(p *mpi.Proc) error {
+		coll.Bcast(p, alg, 0, coll.Synthetic(*m), *seg)
+		return nil
+	}, mpi.Options{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%v broadcast of %d B over %d ranks on %s (segment %d B)\n",
+		alg, *m, *np, pr.Name, *seg)
+	fmt.Printf("completion: %.6f s\n\n", res.MakeSpan)
+	fmt.Print(col.Analyze().Render())
+	fmt.Println()
+	fmt.Print(col.Timeline(*width))
+	fmt.Println()
+	path := col.CriticalPath()
+	fmt.Printf("critical path (%d hops):\n", len(path))
+	for _, tr := range path {
+		fmt.Printf("  %3d -> %3d  %7d B  issued %.6f  delivered %.6f\n",
+			tr.Src, tr.Dst, tr.Bytes, tr.Issued, tr.Delivered)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Command decisiongen compiles a calibration (from fitparams) into a
+// static decision table — the artifact an MPI library would actually ship:
+// Open MPI's coll_tuned_decision_fixed.c regenerated from models instead
+// of hand tuning.
+//
+// Usage:
+//
+//	decisiongen -cluster grisou [-cal grisou.json] [-maxprocs 90] \
+//	            [-json table.json] [-gofunc selectBcastGrisou]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/core"
+	"mpicollperf/internal/decision"
+	"mpicollperf/internal/estimate"
+	"mpicollperf/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "decisiongen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	clusterName := flag.String("cluster", "grisou", "cluster profile (grisou, gros)")
+	calPath := flag.String("cal", "", "calibration JSON from fitparams (default: calibrate now)")
+	maxProcs := flag.Int("maxprocs", 0, "largest communicator size (default: the platform)")
+	jsonPath := flag.String("json", "", "write the table as JSON to this path")
+	goFunc := flag.String("gofunc", "", "emit the table as a Go function with this name")
+	flag.Parse()
+
+	pr, err := cluster.ByName(*clusterName)
+	if err != nil {
+		return err
+	}
+	if *maxProcs == 0 {
+		*maxProcs = pr.Nodes
+	}
+
+	var sel *core.Selector
+	if *calPath != "" {
+		sel, err = core.LoadModels(pr, *calPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "(no -cal file: running calibration, this takes a moment)")
+		sel, err = core.Calibrate(pr, estimate.AlphaBetaConfig{Settings: experiment.DefaultSettings()})
+	}
+	if err != nil {
+		return err
+	}
+
+	tab, err := decision.Compile(sel.Models, decision.CompileConfig{MaxProcs: *maxProcs})
+	if err != nil {
+		return err
+	}
+
+	if *jsonPath != "" {
+		if err := tab.Save(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("table written to %s\n", *jsonPath)
+	}
+	if *goFunc != "" {
+		fmt.Println(tab.GoSource(*goFunc))
+	}
+	if *jsonPath == "" && *goFunc == "" {
+		// Human-readable dump.
+		fmt.Printf("compiled decision table for %s (segment %d B)\n", tab.Cluster, tab.SegSize)
+		for _, row := range tab.Rows {
+			fmt.Printf("  P <= %d:\n", row.Procs)
+			for i, rule := range row.Rules {
+				if i == len(row.Rules)-1 {
+					fmt.Printf("    otherwise       -> %s\n", rule.Alg)
+				} else {
+					fmt.Printf("    m <= %-10d -> %s\n", rule.MaxBytes, rule.Alg)
+				}
+			}
+		}
+	}
+	return nil
+}

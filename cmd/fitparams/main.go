@@ -1,0 +1,72 @@
+// Command fitparams runs the paper's offline calibration (§4) on a
+// simulated cluster: γ(P) estimation followed by per-algorithm α/β
+// estimation, optionally persisting the result for later use by selectalg
+// or a library consumer.
+//
+// Usage:
+//
+//	fitparams [-cluster grisou] [-procs 40] [-save grisou.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/core"
+	"mpicollperf/internal/estimate"
+	"mpicollperf/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fitparams:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	clusterName := flag.String("cluster", "grisou", "cluster profile (grisou, gros)")
+	procs := flag.Int("procs", 0, "processes for the α/β experiments (default: half the cluster)")
+	save := flag.String("save", "", "write the calibration to this JSON file")
+	flag.Parse()
+
+	pr, err := cluster.ByName(*clusterName)
+	if err != nil {
+		return err
+	}
+	sel, err := core.Calibrate(pr, estimate.AlphaBetaConfig{
+		Procs:    *procs,
+		Settings: experiment.DefaultSettings(),
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("calibration of %s (segment size %d B)\n\n", pr.Name, pr.SegmentSize)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "P\tgamma(P)\treps\tCI rel err")
+	for p := 2; p <= pr.MaxLinearFanout; p++ {
+		meas := sel.GammaDetail.Measurements[p]
+		fmt.Fprintf(w, "%d\t%.3f\t%d\t%.4f\n",
+			p, sel.Models.Gamma.At(p), meas.Reps, meas.CI.RelativeError())
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "algorithm\talpha (s)\tbeta (s/B)")
+	for _, alg := range coll.BcastAlgorithms() {
+		par := sel.Models.Params[alg]
+		fmt.Fprintf(w, "%v\t%.3e\t%.3e\n", alg, par.Alpha, par.Beta)
+	}
+	w.Flush()
+
+	if *save != "" {
+		if err := sel.SaveModels(*save); err != nil {
+			return err
+		}
+		fmt.Printf("\ncalibration written to %s\n", *save)
+	}
+	return nil
+}

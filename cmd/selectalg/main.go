@@ -1,0 +1,82 @@
+// Command selectalg answers the paper's run-time question: which broadcast
+// algorithm should MPI_Bcast use for a given process count and message
+// size? It prints the model-based selection (from a saved or freshly run
+// calibration), Open MPI 3.1's fixed decision, and the per-algorithm model
+// predictions.
+//
+// Usage:
+//
+//	selectalg [-cluster grisou] [-cal grisou.json] -np 90 -m 1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/core"
+	"mpicollperf/internal/estimate"
+	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/selection"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "selectalg:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	clusterName := flag.String("cluster", "grisou", "cluster profile (grisou, gros)")
+	calPath := flag.String("cal", "", "calibration JSON from fitparams (default: calibrate now)")
+	np := flag.Int("np", 0, "number of processes (required)")
+	m := flag.Int("m", 0, "message size in bytes (required)")
+	flag.Parse()
+
+	if *np < 2 || *m < 0 {
+		return fmt.Errorf("need -np >= 2 and -m >= 0")
+	}
+	pr, err := cluster.ByName(*clusterName)
+	if err != nil {
+		return err
+	}
+
+	var sel *core.Selector
+	if *calPath != "" {
+		sel, err = core.LoadModels(pr, *calPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "(no -cal file: running calibration, this takes a moment)")
+		sel, err = core.Calibrate(pr, estimate.AlphaBetaConfig{Settings: experiment.DefaultSettings()})
+	}
+	if err != nil {
+		return err
+	}
+
+	choice, err := sel.Best(*np, *m)
+	if err != nil {
+		return err
+	}
+	ompi := selection.OpenMPIFixed(*np, *m)
+	fmt.Printf("cluster=%s P=%d m=%d B\n", pr.Name, *np, *m)
+	fmt.Printf("model-based selection: %v\n", choice)
+	fmt.Printf("open mpi 3.1 decision: %v\n\n", ompi)
+
+	preds := sel.PredictAll(*np, *m)
+	algs := make([]coll.BcastAlgorithm, 0, len(preds))
+	for a := range preds {
+		algs = append(algs, a)
+	}
+	sort.Slice(algs, func(i, j int) bool { return preds[algs[i]] < preds[algs[j]] })
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "rank\talgorithm\tpredicted time (s)")
+	for i, a := range algs {
+		fmt.Fprintf(w, "%d\t%v\t%.6f\n", i+1, a, preds[a])
+	}
+	w.Flush()
+	return nil
+}

@@ -1,0 +1,128 @@
+// Autotune demonstrates the end-to-end payoff of model-based selection on
+// an application-shaped workload: an iterative master-worker computation
+// (think parameter sweep or synchronous SGD) that each iteration
+// broadcasts a model/state buffer from rank 0 and gathers small per-rank
+// results back.
+//
+// The same application is run three ways on the simulated cluster —
+// broadcast algorithm chosen by Open MPI 3.1's fixed decision function, by
+// the paper's model-based selector, and by an exhaustive oracle — and the
+// total virtual run times are compared.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/core"
+	"mpicollperf/internal/estimate"
+	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/mpi"
+	"mpicollperf/internal/selection"
+)
+
+const (
+	nprocs     = 32
+	iterations = 20
+	// The broadcast payload grows across phases, crossing the decision
+	// boundaries where different algorithms win.
+	resultBytes = 2048
+	computeTime = 200e-6 // per-iteration local work, virtual seconds
+)
+
+var phases = []int{16384, 262144, 2 << 20} // broadcast sizes per phase
+
+// runApp executes the application with the broadcast algorithm chosen by
+// pick and returns the virtual makespan.
+func runApp(pr cluster.Profile, pick func(P, m int) selection.Choice) (float64, error) {
+	net, err := pr.Network()
+	if err != nil {
+		return 0, err
+	}
+	res, err := mpi.RunOn(net, nprocs, func(p *mpi.Proc) error {
+		for _, m := range phases {
+			choice := pick(p.Size(), m) // every rank computes the same choice
+			for it := 0; it < iterations; it++ {
+				coll.Bcast(p, choice.Alg, 0, coll.Synthetic(m), choice.SegSize)
+				p.Sleep(computeTime)
+				if p.Rank() == 0 {
+					coll.Gather(p, coll.GatherLinearNoSync, 0,
+						coll.Synthetic(resultBytes*p.Size()), resultBytes)
+				} else {
+					coll.Gather(p, coll.GatherLinearNoSync, 0,
+						coll.Synthetic(resultBytes), resultBytes)
+				}
+			}
+		}
+		return nil
+	}, mpi.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.MakeSpan, nil
+}
+
+func main() {
+	profile, err := cluster.Grisou().WithNodes(nprocs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := experiment.DefaultSettings()
+
+	sel, err := core.Calibrate(profile, estimate.AlphaBetaConfig{Settings: set})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Oracle choices per phase, measured once up front.
+	oracleChoice := make(map[int]selection.Choice, len(phases))
+	for _, m := range phases {
+		o, err := selection.Oracle(profile, nprocs, m, set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oracleChoice[m] = selection.Choice{Alg: o.Best, SegSize: profile.SegmentSize}
+	}
+
+	pickers := []struct {
+		name string
+		pick func(P, m int) selection.Choice
+	}{
+		{"open mpi fixed decision", selection.OpenMPIFixed},
+		{"model-based (this paper)", func(P, m int) selection.Choice {
+			c, err := sel.Best(P, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return c
+		}},
+		{"oracle (exhaustive)", func(P, m int) selection.Choice { return oracleChoice[m] }},
+	}
+
+	fmt.Printf("master-worker application: %d ranks, %d iterations x %d phases\n\n",
+		nprocs, iterations, len(phases))
+	var baseline float64
+	for i, pk := range pickers {
+		total, err := runApp(profile, pk.pick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseline = total
+			fmt.Printf("%-26s %.4f s (baseline)\n", pk.name, total)
+			continue
+		}
+		fmt.Printf("%-26s %.4f s (%.1f%% faster than open mpi)\n",
+			pk.name, total, (baseline/total-1)*100)
+	}
+	fmt.Println("\nper-phase selections:")
+	for _, m := range phases {
+		c, _ := sel.Best(nprocs, m)
+		fmt.Printf("  m=%-8d open mpi: %-18v model: %-16v oracle: %v\n",
+			m, selection.OpenMPIFixed(nprocs, m), c, oracleChoice[m])
+	}
+}

@@ -1,0 +1,87 @@
+// Decisiontable shows the deployment path for the paper's method: compile
+// a calibrated model set into a static decision table (the shape of Open
+// MPI's hard-coded decision function, but derived from models and
+// regenerable per platform), then use it for zero-floating-point run-time
+// selection — including a generated Go function a library could vendor.
+//
+//	go run ./examples/decisiontable
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/core"
+	"mpicollperf/internal/decision"
+	"mpicollperf/internal/estimate"
+	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/selection"
+)
+
+func main() {
+	profile, err := cluster.Grisou().WithNodes(32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := core.Calibrate(profile, estimate.AlphaBetaConfig{
+		Settings: experiment.DefaultSettings(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	table, err := decision.Compile(sel.Models, decision.CompileConfig{MaxProcs: profile.Nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("compiled rules:")
+	for _, row := range table.Rows {
+		fmt.Printf("  P <= %d:\n", row.Procs)
+		for i, rule := range row.Rules {
+			if i == len(row.Rules)-1 {
+				fmt.Printf("    otherwise     -> %s\n", rule.Alg)
+			} else {
+				fmt.Printf("    m <= %-8d -> %s\n", rule.MaxBytes, rule.Alg)
+			}
+		}
+	}
+
+	// The table agrees with live model evaluation.
+	fmt.Println("\ntable lookup vs live model evaluation:")
+	disagreements := 0
+	for _, p := range []int{4, 16, 32} {
+		for _, m := range []int{2048, 65536, 1 << 20, 4 << 20} {
+			compiled, err := table.Lookup(p, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			live, err := sel.Best(p, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mark := " "
+			if compiled != live.Alg.String() {
+				mark = "!"
+				disagreements++
+			}
+			fmt.Printf("  %s P=%-3d m=%-8d table=%-14s live=%v\n", mark, p, m, compiled, live.Alg)
+		}
+	}
+	fmt.Printf("disagreements: %d (grid-boundary effects only)\n\n", disagreements)
+
+	// Contrast with the platform-blind Open MPI rule at one point.
+	const p, m = 32, 4 << 20
+	compiled, _ := table.Lookup(p, m)
+	fmt.Printf("at P=%d, m=%d: compiled-for-%s says %s, Open MPI's fixed rule says %v\n",
+		p, m, table.Cluster, compiled, selection.OpenMPIFixed(p, m))
+
+	// And the vendorable artifact:
+	fmt.Println("\ngenerated Go (excerpt):")
+	src := table.GoSource("selectBcastGrisou")
+	if len(src) > 600 {
+		src = src[:600] + "\n\t... (truncated)\n"
+	}
+	fmt.Println(src)
+}

@@ -1,0 +1,74 @@
+// Modelaccuracy reproduces the paper's central methodological claim in
+// miniature: implementation-derived models with per-algorithm parameters
+// predict measured broadcast times well enough to rank algorithms, where
+// textbook models with ping-pong parameters do not (Fig. 1).
+//
+// For every algorithm and a sweep of message sizes it prints the measured
+// time, the implementation-derived prediction, the traditional textbook
+// prediction, and both relative errors.
+//
+//	go run ./examples/modelaccuracy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/core"
+	"mpicollperf/internal/estimate"
+	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/hockney"
+	"mpicollperf/internal/stats"
+)
+
+func main() {
+	profile, err := cluster.Gros().WithNodes(32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := experiment.DefaultSettings()
+
+	// The paper's estimation pipeline...
+	sel, err := core.Calibrate(profile, estimate.AlphaBetaConfig{Settings: set})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ...and the traditional one it replaces.
+	pingPong, err := hockney.EstimatePingPong(profile, []int{0, 8192, 131072, 1 << 20}, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const P = 32
+	sizes := stats.LogSpaceBytes(8192, 2<<20, 5)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tm (B)\tmeasured (s)\tmodel (s)\terr\ttraditional (s)\terr")
+	var modelErrs, tradErrs []float64
+	for _, alg := range coll.BcastAlgorithms() {
+		for _, m := range sizes {
+			measured, err := sel.MeasureBcast(alg, P, m, set)
+			if err != nil {
+				log.Fatal(err)
+			}
+			predicted, err := sel.Predict(alg, P, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			trad := hockney.TraditionalBcast(alg, pingPong, P, m, profile.SegmentSize)
+			me := math.Abs(predicted/measured - 1)
+			te := math.Abs(trad/measured - 1)
+			modelErrs = append(modelErrs, me)
+			tradErrs = append(tradErrs, te)
+			fmt.Fprintf(w, "%v\t%d\t%.6f\t%.6f\t%.0f%%\t%.6f\t%.0f%%\n",
+				alg, m, measured, predicted, me*100, trad, te*100)
+		}
+	}
+	w.Flush()
+	fmt.Printf("\nmean relative error: implementation-derived %.0f%%, traditional %.0f%%\n",
+		stats.Mean(modelErrs)*100, stats.Mean(tradErrs)*100)
+}

@@ -1,0 +1,46 @@
+// Quickstart: calibrate the model-based selector on a simulated cluster
+// and ask it which broadcast algorithm to use.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpicollperf"
+)
+
+func main() {
+	// A scaled-down Grisou so the offline calibration finishes in seconds;
+	// use mpicollperf.Grisou() unmodified for the paper-scale platform.
+	profile, err := mpicollperf.Grisou().WithNodes(24)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline phase (once per cluster): estimate γ(P) and per-algorithm
+	// Hockney parameters from collective communication experiments.
+	sel, err := mpicollperf.Calibrate(profile, mpicollperf.CalibrationConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Online phase (per MPI_Bcast call): evaluate six closed forms, take
+	// the argmin. Compare against Open MPI 3.1's hard-coded decision.
+	fmt.Printf("%-10s %-22s %-22s\n", "m", "model-based selection", "open mpi 3.1 decision")
+	for _, m := range []int{1024, 8192, 131072, 1 << 20, 4 << 20} {
+		choice, err := sel.Best(profile.Nodes, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ompi := mpicollperf.OpenMPIDecision(profile.Nodes, m)
+		fmt.Printf("%-10d %-22v %-22v\n", m, choice, ompi)
+	}
+
+	// The models also answer "how long would algorithm X take?".
+	fmt.Println("\npredicted times for a 1 MB broadcast:")
+	for alg, t := range sel.PredictAll(profile.Nodes, 1<<20) {
+		fmt.Printf("  %-14v %.4f s\n", alg, t)
+	}
+}

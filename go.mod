@@ -1,0 +1,3 @@
+module mpicollperf
+
+go 1.22

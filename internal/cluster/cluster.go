@@ -1,0 +1,183 @@
+// Package cluster defines the simulated experimental platforms. The paper
+// evaluates on two Grid'5000 clusters — Grisou (51 dual-CPU nodes, 10 Gbps
+// Ethernet; the paper runs up to 90 processes, one per CPU) and Gros (124
+// nodes, 25 Gbps Ethernet, up to 124 processes) — which this package maps
+// to simnet configurations.
+//
+// Calibration. The profiles are calibrated against the paper's Table 1
+// (γ(P) for P = 3..7). On the simulator, the non-blocking linear broadcast
+// of one m_s-byte segment to P-1 children completes at
+//
+//	T(P) = c′ + (P-1)·m_s·G + m_s·g,   c′ = o_s + L + o_r,
+//
+// so γ(P) = T(P)/T(2) is an affine-over-affine function of P. The paper's
+// measured γ tables fit this form almost exactly, which pins down c′ once
+// G is taken from the link speed:
+//
+//	Grisou: G = g = 0.8 ns/B (10 Gbps), c′ = 47.5 µs → γ(3..7) =
+//	        1.108, 1.216, 1.325, 1.433, 1.540  (paper: 1.114, 1.219,
+//	        1.283, 1.451, 1.540)
+//	Gros:   G = g = 0.32 ns/B (25 Gbps), c′ = 25.7 µs → γ(3..7) =
+//	        1.085, 1.170, 1.254, 1.339, 1.424  (paper: 1.084, 1.170,
+//	        1.254, 1.339, 1.424)
+//
+// Absolute broadcast times are not expected to match the paper's testbeds;
+// the point of the calibration is that the relative cost structure — and
+// therefore which algorithm wins where — is preserved.
+package cluster
+
+import (
+	"fmt"
+
+	"mpicollperf/internal/simnet"
+)
+
+// Profile describes a simulated cluster platform.
+type Profile struct {
+	// Name identifies the platform in reports ("grisou", "gros", ...).
+	Name string
+	// Nodes is the maximum number of single-process nodes available.
+	Nodes int
+	// Net is the network configuration handed to the simulator.
+	Net simnet.Config
+	// SegmentSize is the broadcast segment size m_s used on this platform
+	// (8 KB in all of the paper's experiments).
+	SegmentSize int
+	// MaxLinearFanout is the largest number of children any node has in
+	// the segmented broadcast algorithms here (the binomial root's degree,
+	// ceil(log2 P) = 7 for both clusters), bounding the range over which
+	// γ(P) must be estimated.
+	MaxLinearFanout int
+}
+
+// Network builds a fresh simulator for the profile.
+func (pr Profile) Network() (*simnet.Network, error) {
+	return simnet.New(pr.Net)
+}
+
+// WithNodes returns a copy of the profile restricted to n nodes.
+func (pr Profile) WithNodes(n int) (Profile, error) {
+	if n < 1 || n > pr.Nodes {
+		return Profile{}, fmt.Errorf("cluster: %d nodes outside 1..%d on %s", n, pr.Nodes, pr.Name)
+	}
+	out := pr
+	out.Net.Nodes = n
+	out.Nodes = n
+	return out, nil
+}
+
+// Validate checks internal consistency.
+func (pr Profile) Validate() error {
+	if pr.Name == "" {
+		return fmt.Errorf("cluster: empty name")
+	}
+	if pr.SegmentSize <= 0 {
+		return fmt.Errorf("cluster %s: segment size %d", pr.Name, pr.SegmentSize)
+	}
+	if pr.MaxLinearFanout < 2 {
+		return fmt.Errorf("cluster %s: max fanout %d", pr.Name, pr.MaxLinearFanout)
+	}
+	if pr.Net.Nodes != pr.Nodes {
+		return fmt.Errorf("cluster %s: node count mismatch %d != %d", pr.Name, pr.Net.Nodes, pr.Nodes)
+	}
+	return pr.Net.Validate()
+}
+
+// Grisou models the Grid'5000 Nancy Grisou cluster: 10 Gbps Ethernet,
+// up to 90 processes (the paper's maximum).
+func Grisou() Profile {
+	return Profile{
+		Name:  "grisou",
+		Nodes: 90,
+		Net: simnet.Config{
+			Nodes:          90,
+			Latency:        43.5e-6,
+			ByteTimeSend:   0.8e-9,
+			ByteTimeRecv:   0.8e-9,
+			SendOverhead:   2e-6,
+			RecvOverhead:   2e-6,
+			NoiseAmplitude: 0.03,
+			NoiseSeed:      1001,
+		},
+		SegmentSize:     8192,
+		MaxLinearFanout: 7,
+	}
+}
+
+// Gros models the Grid'5000 Nancy Gros cluster: 25 Gbps Ethernet, up to
+// 124 processes.
+func Gros() Profile {
+	return Profile{
+		Name:  "gros",
+		Nodes: 124,
+		Net: simnet.Config{
+			Nodes:          124,
+			Latency:        22.7e-6,
+			ByteTimeSend:   0.32e-9,
+			ByteTimeRecv:   0.32e-9,
+			SendOverhead:   1.5e-6,
+			RecvOverhead:   1.5e-6,
+			NoiseAmplitude: 0.03,
+			NoiseSeed:      2002,
+		},
+		SegmentSize:     8192,
+		MaxLinearFanout: 7,
+	}
+}
+
+// Custom builds a profile from raw hardware characteristics: node count,
+// one-way latency in seconds, and link bandwidth in bytes per second.
+// Overheads default to small per-message CPU costs and noise to 3%.
+func Custom(name string, nodes int, latency, bandwidthBps float64) (Profile, error) {
+	if bandwidthBps <= 0 {
+		return Profile{}, fmt.Errorf("cluster: bandwidth must be positive")
+	}
+	pr := Profile{
+		Name:  name,
+		Nodes: nodes,
+		Net: simnet.Config{
+			Nodes:          nodes,
+			Latency:        latency,
+			ByteTimeSend:   1 / bandwidthBps,
+			ByteTimeRecv:   1 / bandwidthBps,
+			SendOverhead:   2e-6,
+			RecvOverhead:   2e-6,
+			NoiseAmplitude: 0.03,
+			NoiseSeed:      4242,
+		},
+		SegmentSize:     8192,
+		MaxLinearFanout: 8,
+	}
+	if err := pr.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return pr, nil
+}
+
+// GrisouDualSocket models Grisou at the paper's literal deployment
+// (§5.1): dual-CPU nodes with one process per CPU, so consecutive process
+// pairs share a node's NIC and talk over shared memory with each other.
+// The paper's artifacts use the calibrated one-process-per-node Grisou()
+// (the calibration absorbs the NIC sharing); this variant exposes the
+// co-location effects explicitly for studies that need them.
+func GrisouDualSocket() Profile {
+	pr := Grisou()
+	pr.Name = "grisou2"
+	pr.Net.ProcsPerNode = 2
+	pr.Net.IntraNodeLatency = 1.5e-6
+	pr.Net.IntraNodeByteTime = 0.05e-9 // ~20 GB/s shared memory
+	return pr
+}
+
+// All returns the built-in paper platforms.
+func All() []Profile { return []Profile{Grisou(), Gros()} }
+
+// ByName returns the built-in profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, pr := range append(All(), GrisouDualSocket()) {
+		if pr.Name == name {
+			return pr, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("cluster: unknown profile %q (have grisou, gros, grisou2)", name)
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuiltinsValid(t *testing.T) {
+	for _, pr := range All() {
+		if err := pr.Validate(); err != nil {
+			t.Errorf("%s: %v", pr.Name, err)
+		}
+		if _, err := pr.Network(); err != nil {
+			t.Errorf("%s: %v", pr.Name, err)
+		}
+	}
+}
+
+func TestPaperScales(t *testing.T) {
+	g := Grisou()
+	if g.Nodes != 90 {
+		t.Errorf("grisou nodes = %d, want 90 (paper's max process count)", g.Nodes)
+	}
+	gr := Gros()
+	if gr.Nodes != 124 {
+		t.Errorf("gros nodes = %d, want 124", gr.Nodes)
+	}
+	for _, pr := range All() {
+		if pr.SegmentSize != 8192 {
+			t.Errorf("%s: segment size %d, want the paper's 8 KB", pr.Name, pr.SegmentSize)
+		}
+		if pr.MaxLinearFanout != 7 {
+			t.Errorf("%s: max fanout %d, want 7 (= ceil(log2 P))", pr.Name, pr.MaxLinearFanout)
+		}
+	}
+}
+
+func TestGrosIsFasterNetwork(t *testing.T) {
+	g, gr := Grisou(), Gros()
+	if gr.Net.ByteTimeSend >= g.Net.ByteTimeSend {
+		t.Error("gros (25 Gbps) must have smaller per-byte time than grisou (10 Gbps)")
+	}
+	if gr.Net.Latency >= g.Net.Latency {
+		t.Error("gros should be calibrated with lower latency")
+	}
+}
+
+// gammaClosedForm is the simulator's analytical γ(P) for a profile (see
+// the package comment): T(P)/T(2) with T(P) = c' + (P-1)msG + ms g.
+func gammaClosedForm(pr Profile, p int) float64 {
+	cfg := pr.Net
+	cPrime := cfg.SendOverhead + cfg.Latency + cfg.RecvOverhead
+	ms := float64(pr.SegmentSize)
+	T := func(n int) float64 {
+		return cPrime + float64(n-1)*ms*cfg.ByteTimeSend + ms*cfg.ByteTimeRecv
+	}
+	return T(p) / T(2)
+}
+
+func TestGammaCalibrationMatchesPaperTable1(t *testing.T) {
+	paper := map[string][]float64{
+		// P = 3, 4, 5, 6, 7
+		"grisou": {1.114, 1.219, 1.283, 1.451, 1.540},
+		"gros":   {1.084, 1.170, 1.254, 1.339, 1.424},
+	}
+	for _, pr := range All() {
+		want := paper[pr.Name]
+		for i, p := 0, 3; p <= 7; i, p = i+1, p+1 {
+			got := gammaClosedForm(pr, p)
+			if math.Abs(got-want[i]) > 0.06 {
+				t.Errorf("%s: γ(%d) = %.3f, paper %.3f (calibration drifted)", pr.Name, p, got, want[i])
+			}
+		}
+		// Monotone growth, γ(2) = 1 by definition.
+		if gammaClosedForm(pr, 2) != 1 {
+			t.Errorf("%s: γ(2) != 1", pr.Name)
+		}
+		for p := 3; p <= 7; p++ {
+			if gammaClosedForm(pr, p) <= gammaClosedForm(pr, p-1) {
+				t.Errorf("%s: γ not increasing at P=%d", pr.Name, p)
+			}
+		}
+	}
+}
+
+func TestWithNodes(t *testing.T) {
+	pr, err := Grisou().WithNodes(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Nodes != 50 || pr.Net.Nodes != 50 {
+		t.Fatalf("WithNodes: %+v", pr)
+	}
+	if err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Grisou().WithNodes(0); err == nil {
+		t.Fatal("0 nodes should fail")
+	}
+	if _, err := Grisou().WithNodes(91); err == nil {
+		t.Fatal("more nodes than the platform has should fail")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"grisou", "gros"} {
+		pr, err := ByName(name)
+		if err != nil || pr.Name != name {
+			t.Fatalf("ByName(%q): %v %v", name, pr, err)
+		}
+	}
+	if _, err := ByName("fugaku"); err == nil {
+		t.Fatal("unknown name should fail")
+	}
+}
+
+func TestCustom(t *testing.T) {
+	pr, err := Custom("lab", 16, 10e-6, 1.25e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pr.Net.ByteTimeSend-0.8e-9) > 1e-15 {
+		t.Fatalf("byte time = %v", pr.Net.ByteTimeSend)
+	}
+	if _, err := Custom("bad", 4, 1e-6, 0); err == nil {
+		t.Fatal("zero bandwidth should fail")
+	}
+	if _, err := Custom("bad", 0, 1e-6, 1e9); err == nil {
+		t.Fatal("zero nodes should fail")
+	}
+}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"testing"
+
+	"mpicollperf/internal/simnet"
+)
+
+func TestGrisouDualSocketProfile(t *testing.T) {
+	pr := GrisouDualSocket()
+	if err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Name != "grisou2" || pr.Net.ProcsPerNode != 2 {
+		t.Fatalf("profile: %+v", pr)
+	}
+	if got, err := ByName("grisou2"); err != nil || got.Name != "grisou2" {
+		t.Fatalf("ByName: %v %v", got, err)
+	}
+	// The paper's artifact set stays the two calibrated platforms.
+	if len(All()) != 2 {
+		t.Fatalf("All() should remain the paper platforms, got %d", len(All()))
+	}
+}
+
+func TestDualSocketIntraNodeFasterOnNetwork(t *testing.T) {
+	pr := GrisouDualSocket()
+	pr.Net.NoiseAmplitude = 0
+	net, err := simnet.New(pr.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 65536
+	intra, err := net.Transmit(0, 1, m, 0) // same node
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := net.Transmit(0, 2, m, 0) // across nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intra.Delivered >= inter.Delivered {
+		t.Fatalf("intra-node (%v) should beat inter-node (%v)", intra.Delivered, inter.Delivered)
+	}
+}

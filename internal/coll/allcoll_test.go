@@ -1,0 +1,303 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mpicollperf/internal/mpi"
+)
+
+func runAllgather(t *testing.T, alg AllgatherAlgorithm, nprocs, blockSize int) {
+	t.Helper()
+	_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+		m := Bytes(make([]byte, blockSize*nprocs))
+		me := p.Rank()
+		copy(m.Data[me*blockSize:(me+1)*blockSize], pattern(blockSize, byte(me)))
+		Allgather(p, alg, m, blockSize)
+		for r := 0; r < nprocs; r++ {
+			if !bytes.Equal(m.Data[r*blockSize:(r+1)*blockSize], pattern(blockSize, byte(r))) {
+				return fmt.Errorf("rank %d: block %d corrupted (alg %v, P=%d, bs=%d)",
+					me, r, alg, nprocs, blockSize)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherAllAlgorithms(t *testing.T) {
+	for _, alg := range AllgatherAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, nprocs := range []int{2, 3, 4, 5, 7, 8, 13, 16} {
+				for _, bs := range []int{1, 33, 256} {
+					runAllgather(t, alg, nprocs, bs)
+				}
+			}
+		})
+	}
+}
+
+func TestAllgatherSynthetic(t *testing.T) {
+	for _, alg := range AllgatherAlgorithms() {
+		alg := alg
+		_, err := mpi.Run(testConfig(6), 6, func(p *mpi.Proc) error {
+			Allgather(p, alg, Synthetic(6*512), 512)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
+
+func TestAllgatherSingleRank(t *testing.T) {
+	_, err := mpi.Run(testConfig(1), 1, func(p *mpi.Proc) error {
+		Allgather(p, AllgatherRing, Bytes([]byte{1, 2}), 2)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherBadSizes(t *testing.T) {
+	_, err := mpi.Run(testConfig(3), 3, func(p *mpi.Proc) error {
+		Allgather(p, AllgatherRing, Synthetic(10), 100)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("size mismatch should fail")
+	}
+}
+
+func TestAllgatherRecDblFallsBackForNonPowerOfTwo(t *testing.T) {
+	// P=6 must still be correct (handled via the ring fallback).
+	runAllgather(t, AllgatherRecursiveDoubling, 6, 64)
+	runAllgather(t, AllgatherRecursiveDoubling, 11, 64)
+}
+
+func TestAllgatherBruckFewerRoundsThanRing(t *testing.T) {
+	// Bruck finishes in O(log P) rounds vs the ring's P-1: for small
+	// blocks at P=16 it must be faster.
+	timeFor := func(alg AllgatherAlgorithm) float64 {
+		res, err := mpi.Run(testConfig(16), 16, func(p *mpi.Proc) error {
+			Allgather(p, alg, Synthetic(16*64), 64)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakeSpan
+	}
+	if timeFor(AllgatherBruck) >= timeFor(AllgatherRing) {
+		t.Fatal("bruck should beat ring for latency-bound allgather")
+	}
+}
+
+func runAllreduce(t *testing.T, alg AllreduceAlgorithm, nprocs, size int) {
+	t.Helper()
+	wantByte := byte((nprocs * (nprocs - 1) / 2) % 256)
+	_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+		contrib := make([]byte, size)
+		for i := range contrib {
+			contrib[i] = byte(p.Rank())
+		}
+		Allreduce(p, alg, Bytes(contrib), OpSum, 512)
+		for i, b := range contrib {
+			if b != wantByte {
+				return fmt.Errorf("rank %d byte %d = %d, want %d (alg %v, P=%d, n=%d)",
+					p.Rank(), i, b, wantByte, alg, nprocs, size)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceAllAlgorithms(t *testing.T) {
+	for _, alg := range AllreduceAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, nprocs := range []int{2, 3, 4, 5, 8, 9, 16} {
+				for _, size := range []int{1, 17, 1000, 4096} {
+					runAllreduce(t, alg, nprocs, size)
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduceSynthetic(t *testing.T) {
+	for _, alg := range AllreduceAlgorithms() {
+		alg := alg
+		_, err := mpi.Run(testConfig(8), 8, func(p *mpi.Proc) error {
+			Allreduce(p, alg, Synthetic(100000), nil, 8192)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
+
+func TestAllreduceRingBandwidthOptimal(t *testing.T) {
+	// For a large vector on many ranks, the ring must beat reduce+bcast.
+	timeFor := func(alg AllreduceAlgorithm) float64 {
+		res, err := mpi.Run(testConfig(16), 16, func(p *mpi.Proc) error {
+			Allreduce(p, alg, Synthetic(4<<20), nil, 8192)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakeSpan
+	}
+	ring, rb := timeFor(AllreduceRing), timeFor(AllreduceReduceBcast)
+	if ring >= rb {
+		t.Fatalf("ring (%v) should beat reduce+bcast (%v) for 4MB at P=16", ring, rb)
+	}
+}
+
+func runAlltoall(t *testing.T, alg AlltoallAlgorithm, nprocs, blockSize int) {
+	t.Helper()
+	_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+		me := p.Rank()
+		send := Bytes(make([]byte, blockSize*nprocs))
+		recv := Bytes(make([]byte, blockSize*nprocs))
+		for d := 0; d < nprocs; d++ {
+			// The block from rank s to rank d is pattern(seed = s*31+d).
+			copy(send.Data[d*blockSize:(d+1)*blockSize], pattern(blockSize, byte(me*31+d)))
+		}
+		Alltoall(p, alg, send, recv, blockSize)
+		for s := 0; s < nprocs; s++ {
+			want := pattern(blockSize, byte(s*31+me))
+			if !bytes.Equal(recv.Data[s*blockSize:(s+1)*blockSize], want) {
+				return fmt.Errorf("rank %d: block from %d corrupted (alg %v, P=%d, bs=%d)",
+					me, s, alg, nprocs, blockSize)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallAllAlgorithms(t *testing.T) {
+	for _, alg := range AlltoallAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, nprocs := range []int{2, 3, 4, 5, 7, 8, 12, 16} {
+				for _, bs := range []int{1, 19, 128} {
+					runAlltoall(t, alg, nprocs, bs)
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoallSynthetic(t *testing.T) {
+	for _, alg := range AlltoallAlgorithms() {
+		alg := alg
+		_, err := mpi.Run(testConfig(6), 6, func(p *mpi.Proc) error {
+			Alltoall(p, alg, Synthetic(6*1024), Synthetic(6*1024), 1024)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
+
+func TestAlltoallMixedModeRejected(t *testing.T) {
+	_, err := mpi.Run(testConfig(2), 2, func(p *mpi.Proc) error {
+		Alltoall(p, AlltoallLinear, Bytes(make([]byte, 2)), Synthetic(2), 1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mixed real/synthetic buffers should fail")
+	}
+}
+
+func TestAlltoallBruckLatencyWin(t *testing.T) {
+	// Tiny blocks, many ranks: Bruck's log rounds beat pairwise's P-1.
+	timeFor := func(alg AlltoallAlgorithm) float64 {
+		res, err := mpi.Run(testConfig(32), 32, func(p *mpi.Proc) error {
+			Alltoall(p, alg, Synthetic(32*16), Synthetic(32*16), 16)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakeSpan
+	}
+	if timeFor(AlltoallBruck) >= timeFor(AlltoallPairwise) {
+		t.Fatal("bruck should beat pairwise for tiny blocks at P=32")
+	}
+}
+
+// Property: allgather delivers arbitrary blocks for every algorithm and
+// any (P, blockSize).
+func TestAllgatherProperty(t *testing.T) {
+	f := func(algRaw, npRaw, bsRaw uint8) bool {
+		alg := AllgatherAlgorithm(int(algRaw) % numAllgatherAlgorithms)
+		nprocs := int(npRaw%14) + 2
+		bs := int(bsRaw%100) + 1
+		ok := true
+		_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+			m := Bytes(make([]byte, bs*nprocs))
+			copy(m.Data[p.Rank()*bs:(p.Rank()+1)*bs], pattern(bs, byte(p.Rank())))
+			Allgather(p, alg, m, bs)
+			for r := 0; r < nprocs; r++ {
+				if !bytes.Equal(m.Data[r*bs:(r+1)*bs], pattern(bs, byte(r))) {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all three allreduce algorithms agree bit-for-bit.
+func TestAllreduceAlgorithmsAgreeProperty(t *testing.T) {
+	f := func(npRaw uint8, sizeRaw uint16) bool {
+		nprocs := int(npRaw%10) + 2
+		size := int(sizeRaw%300) + 1
+		var results [][]byte
+		for _, alg := range AllreduceAlgorithms() {
+			var got []byte
+			_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+				contrib := pattern(size, byte(p.Rank()*13))
+				Allreduce(p, alg, Bytes(contrib), OpSum, 64)
+				if p.Rank() == 0 {
+					got = append([]byte(nil), contrib...)
+				}
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+			results = append(results, got)
+		}
+		for i := 1; i < len(results); i++ {
+			if !bytes.Equal(results[0], results[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package coll
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mpicollperf/internal/mpi"
+)
+
+// AllgatherAlgorithm identifies an allgather implementation. These mirror
+// Open MPI's coll/base allgather algorithms and extend the reproduction
+// toward the paper's stated future work (model-based selection for other
+// collectives).
+type AllgatherAlgorithm int
+
+const (
+	// AllgatherRing passes blocks around a ring for P-1 steps; each step
+	// every rank sends its newest block to the right neighbour.
+	AllgatherRing AllgatherAlgorithm = iota
+	// AllgatherRecursiveDoubling exchanges doubling block ranges with a
+	// partner at distance 2^k; it requires a power-of-two rank count and
+	// falls back to the ring otherwise, like Open MPI.
+	AllgatherRecursiveDoubling
+	// AllgatherBruck runs ceil(log2 P) store-and-forward rounds and works
+	// for any P.
+	AllgatherBruck
+	// AllgatherGatherBcast gathers everything to rank 0 (binomial) and
+	// broadcasts the result (binomial), Open MPI's two-phase fallback.
+	AllgatherGatherBcast
+
+	numAllgatherAlgorithms = iota
+)
+
+// String returns the algorithm's name.
+func (a AllgatherAlgorithm) String() string {
+	switch a {
+	case AllgatherRing:
+		return "ring"
+	case AllgatherRecursiveDoubling:
+		return "recursive_doubling"
+	case AllgatherBruck:
+		return "bruck"
+	case AllgatherGatherBcast:
+		return "gather_bcast"
+	}
+	return fmt.Sprintf("AllgatherAlgorithm(%d)", int(a))
+}
+
+// AllgatherAlgorithms lists all allgather algorithms.
+func AllgatherAlgorithms() []AllgatherAlgorithm {
+	out := make([]AllgatherAlgorithm, numAllgatherAlgorithms)
+	for i := range out {
+		out[i] = AllgatherAlgorithm(i)
+	}
+	return out
+}
+
+// Allgather collects blockSize bytes from every rank at every rank. m must
+// cover Size()*blockSize bytes on every rank; on entry, rank r's own block
+// occupies m[r*blockSize:(r+1)*blockSize]; on return all blocks are filled.
+func Allgather(p *mpi.Proc, alg AllgatherAlgorithm, m Msg, blockSize int) {
+	m.check()
+	if blockSize < 0 {
+		panic(fmt.Errorf("coll: negative allgather block size %d", blockSize))
+	}
+	if m.Size != blockSize*p.Size() {
+		panic(fmt.Errorf("coll: allgather buffer %d bytes, want %d", m.Size, blockSize*p.Size()))
+	}
+	if p.Size() == 1 {
+		return
+	}
+	switch alg {
+	case AllgatherRing:
+		allgatherRing(p, m, blockSize)
+	case AllgatherRecursiveDoubling:
+		if bits.OnesCount(uint(p.Size())) != 1 {
+			allgatherRing(p, m, blockSize) // Open MPI-style fallback
+			return
+		}
+		allgatherRecDbl(p, m, blockSize)
+	case AllgatherBruck:
+		allgatherBruck(p, m, blockSize)
+	case AllgatherGatherBcast:
+		const root = 0
+		if p.Rank() == root {
+			Gather(p, GatherBinomial, root, m, blockSize)
+		} else {
+			own := m.slice(p.Rank()*blockSize, (p.Rank()+1)*blockSize)
+			Gather(p, GatherBinomial, root, own, blockSize)
+		}
+		Bcast(p, BcastBinomial, root, m, blockSize)
+	default:
+		panic(fmt.Errorf("coll: unknown allgather algorithm %d", int(alg)))
+	}
+}
+
+func allgatherRing(p *mpi.Proc, m Msg, bs int) {
+	size := p.Size()
+	me := p.Rank()
+	right := (me + 1) % size
+	left := (me - 1 + size) % size
+	// In step k we send the block that originated at rank (me-k) mod P and
+	// receive the one from (me-k-1) mod P.
+	for k := 0; k < size-1; k++ {
+		sendOrigin := (me - k + size) % size
+		recvOrigin := (me - k - 1 + size) % size
+		sb := m.slice(sendOrigin*bs, (sendOrigin+1)*bs)
+		rb := m.slice(recvOrigin*bs, (recvOrigin+1)*bs)
+		rs := p.Isend(right, tagAllgather, sb.Data, sb.Size)
+		rr := p.Irecv(left, tagAllgather, rb.Data)
+		p.WaitAll(rs, rr)
+	}
+}
+
+func allgatherRecDbl(p *mpi.Proc, m Msg, bs int) {
+	size := p.Size()
+	me := p.Rank()
+	// After round k each rank holds the 2^(k+1)-aligned group containing
+	// it; exchange the whole held range with the partner me XOR 2^k.
+	for dist := 1; dist < size; dist <<= 1 {
+		partner := me ^ dist
+		myLo := me &^ (dist - 1) // base of my currently held range
+		partnerLo := partner &^ (dist - 1)
+		held := dist * bs
+		sb := m.slice(myLo*bs, myLo*bs+held)
+		rb := m.slice(partnerLo*bs, partnerLo*bs+held)
+		rs := p.Isend(partner, tagAllgather, sb.Data, sb.Size)
+		rr := p.Irecv(partner, tagAllgather, rb.Data)
+		p.WaitAll(rs, rr)
+	}
+}
+
+// allgatherBruck implements the Bruck algorithm: rank r works in a rotated
+// index space where its own block is slot 0; in round k it sends its first
+// min(2^k, P-2^k) slots to rank r-2^k and receives the next slots from
+// rank r+2^k. A final local rotation restores rank order (free in
+// synthetic mode).
+func allgatherBruck(p *mpi.Proc, m Msg, bs int) {
+	size := p.Size()
+	me := p.Rank()
+	// Staging buffer in rotated order: slot i holds the block of rank
+	// (me+i) mod P.
+	var stage Msg
+	if m.Data != nil {
+		stage = Bytes(make([]byte, m.Size))
+		copy(stage.Data[:bs], m.Data[me*bs:(me+1)*bs])
+	} else {
+		stage = Synthetic(m.Size)
+	}
+	have := 1
+	for dist := 1; dist < size; dist <<= 1 {
+		cnt := min(have, size-have)
+		to := (me - dist + size) % size
+		from := (me + dist) % size
+		sb := stage.slice(0, cnt*bs)
+		rb := stage.slice(have*bs, (have+cnt)*bs)
+		rs := p.Isend(to, tagAllgather, sb.Data, sb.Size)
+		rr := p.Irecv(from, tagAllgather, rb.Data)
+		p.WaitAll(rs, rr)
+		have += cnt
+	}
+	// Un-rotate into rank order.
+	if m.Data != nil {
+		for i := 0; i < size; i++ {
+			r := (me + i) % size
+			copy(m.Data[r*bs:(r+1)*bs], stage.Data[i*bs:(i+1)*bs])
+		}
+	}
+}

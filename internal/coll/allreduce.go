@@ -1,0 +1,147 @@
+package coll
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mpicollperf/internal/mpi"
+)
+
+// AllreduceAlgorithm identifies an allreduce implementation.
+type AllreduceAlgorithm int
+
+const (
+	// AllreduceReduceBcast reduces to rank 0 (binomial) and broadcasts the
+	// result (binomial) — the basic two-phase composition.
+	AllreduceReduceBcast AllreduceAlgorithm = iota
+	// AllreduceRecursiveDoubling exchanges and combines full vectors with
+	// partners at doubling distances; power-of-two rank counts only, with
+	// a reduce+bcast fallback otherwise.
+	AllreduceRecursiveDoubling
+	// AllreduceRing is the bandwidth-optimal ring (Rabenseifner style):
+	// a reduce-scatter ring pass followed by an allgather ring pass, with
+	// each rank owning the P-th chunk of the vector.
+	AllreduceRing
+
+	numAllreduceAlgorithms = iota
+)
+
+// String returns the algorithm's name.
+func (a AllreduceAlgorithm) String() string {
+	switch a {
+	case AllreduceReduceBcast:
+		return "reduce_bcast"
+	case AllreduceRecursiveDoubling:
+		return "recursive_doubling"
+	case AllreduceRing:
+		return "ring"
+	}
+	return fmt.Sprintf("AllreduceAlgorithm(%d)", int(a))
+}
+
+// AllreduceAlgorithms lists all allreduce algorithms.
+func AllreduceAlgorithms() []AllreduceAlgorithm {
+	out := make([]AllreduceAlgorithm, numAllreduceAlgorithms)
+	for i := range out {
+		out[i] = AllreduceAlgorithm(i)
+	}
+	return out
+}
+
+// Allreduce combines every rank's m under op and leaves the result in m on
+// every rank. op is ignored in synthetic mode.
+func Allreduce(p *mpi.Proc, alg AllreduceAlgorithm, m Msg, op ReduceOp, segSize int) {
+	m.check()
+	if m.Data != nil && op == nil {
+		panic(fmt.Errorf("coll: allreduce with real data needs an op"))
+	}
+	if p.Size() == 1 {
+		return
+	}
+	switch alg {
+	case AllreduceReduceBcast:
+		Reduce(p, ReduceBinomial, 0, m, op, segSize)
+		Bcast(p, BcastBinomial, 0, m, segSize)
+	case AllreduceRecursiveDoubling:
+		if bits.OnesCount(uint(p.Size())) != 1 {
+			Reduce(p, ReduceBinomial, 0, m, op, segSize)
+			Bcast(p, BcastBinomial, 0, m, segSize)
+			return
+		}
+		allreduceRecDbl(p, m, op)
+	case AllreduceRing:
+		allreduceRing(p, m, op)
+	default:
+		panic(fmt.Errorf("coll: unknown allreduce algorithm %d", int(alg)))
+	}
+}
+
+func allreduceRecDbl(p *mpi.Proc, m Msg, op ReduceOp) {
+	size := p.Size()
+	me := p.Rank()
+	tmp := makeScratch(m)
+	for dist := 1; dist < size; dist <<= 1 {
+		partner := me ^ dist
+		rs := p.Isend(partner, tagAllreduce, m.Data, m.Size)
+		rr := p.Irecv(partner, tagAllreduce, tmp.Data)
+		p.WaitAll(rs, rr)
+		combine(m, tmp, op)
+	}
+}
+
+// allreduceRing splits the vector into P chunks. Phase 1 (reduce-scatter):
+// P-1 ring steps after which rank r holds the fully reduced chunk
+// (r+1) mod P. Phase 2 (allgather): P-1 ring steps circulating the reduced
+// chunks. Total traffic per rank: 2·(P-1)/P of the vector — bandwidth
+// optimal.
+func allreduceRing(p *mpi.Proc, m Msg, op ReduceOp) {
+	size := p.Size()
+	me := p.Rank()
+	right := (me + 1) % size
+	left := (me - 1 + size) % size
+	// Chunk boundaries (the last chunk absorbs the remainder).
+	chunk := func(i int) (lo, hi int) {
+		c := m.Size / size
+		lo = i * c
+		hi = lo + c
+		if i == size-1 {
+			hi = m.Size
+		}
+		return
+	}
+	maxChunk := m.Size - (size-1)*(m.Size/size)
+	if c := m.Size / size; c > maxChunk {
+		maxChunk = c
+	}
+	tmp := makeScratch(Msg{Size: maxChunk, Data: nil})
+	if m.Data != nil {
+		tmp = Bytes(make([]byte, maxChunk))
+	}
+	// Phase 1: reduce-scatter. In step k, send chunk (me-k) and combine
+	// incoming chunk (me-k-1).
+	for k := 0; k < size-1; k++ {
+		si := (me - k + size) % size
+		ri := (me - k - 1 + size) % size
+		slo, shi := chunk(si)
+		rlo, rhi := chunk(ri)
+		sb := m.slice(slo, shi)
+		rs := p.Isend(right, tagAllreduce, sb.Data, sb.Size)
+		rr := p.Irecv(left, tagAllreduce, sliceData(tmp, 0, rhi-rlo))
+		p.WaitAll(rs, rr)
+		dst := m.slice(rlo, rhi)
+		combine(dst, Msg{Data: sliceData(tmp, 0, rhi-rlo), Size: rhi - rlo}, op)
+	}
+	// After phase 1, rank me holds the reduced chunk (me+1) mod P.
+	// Phase 2: allgather of the reduced chunks around the same ring.
+	for k := 0; k < size-1; k++ {
+		si := (me + 1 - k + 2*size) % size
+		ri := (me - k + size) % size
+		slo, shi := chunk(si)
+		rlo, rhi := chunk(ri)
+		sb := m.slice(slo, shi)
+		rb := m.slice(rlo, rhi)
+		rs := p.Isend(right, tagAllreduce, sb.Data, sb.Size)
+		rr := p.Irecv(left, tagAllreduce, rb.Data)
+		p.WaitAll(rs, rr)
+	}
+}

@@ -1,0 +1,79 @@
+package coll
+
+import (
+	"fmt"
+
+	"mpicollperf/internal/mpi"
+)
+
+// BarrierAlgorithm identifies a barrier implementation built from
+// point-to-point messages (unlike Proc.Barrier, which is the runtime's
+// built-in zero-cost-model barrier used to separate measurements).
+type BarrierAlgorithm int
+
+const (
+	// BarrierDissemination is the classic dissemination barrier:
+	// ceil(log2 P) rounds in which rank r signals (r+2^k) mod P and waits
+	// for (r-2^k) mod P.
+	BarrierDissemination BarrierAlgorithm = iota
+	// BarrierFanInFanOut gathers zero-byte tokens up a binomial tree and
+	// broadcasts the release down it.
+	BarrierFanInFanOut
+
+	numBarrierAlgorithms = iota
+)
+
+// String returns the algorithm's name.
+func (a BarrierAlgorithm) String() string {
+	switch a {
+	case BarrierDissemination:
+		return "dissemination"
+	case BarrierFanInFanOut:
+		return "fan_in_fan_out"
+	}
+	return fmt.Sprintf("BarrierAlgorithm(%d)", int(a))
+}
+
+// BarrierAlgorithms lists all barrier algorithms.
+func BarrierAlgorithms() []BarrierAlgorithm {
+	out := make([]BarrierAlgorithm, numBarrierAlgorithms)
+	for i := range out {
+		out[i] = BarrierAlgorithm(i)
+	}
+	return out
+}
+
+// Barrier blocks until all ranks have entered it, using real
+// point-to-point messages.
+func Barrier(p *mpi.Proc, alg BarrierAlgorithm) {
+	if p.Size() == 1 {
+		return
+	}
+	switch alg {
+	case BarrierDissemination:
+		barrierDissemination(p)
+	case BarrierFanInFanOut:
+		barrierFanInFanOut(p)
+	default:
+		panic(fmt.Errorf("coll: unknown barrier algorithm %d", int(alg)))
+	}
+}
+
+func barrierDissemination(p *mpi.Proc) {
+	size := p.Size()
+	me := p.Rank()
+	for dist := 1; dist < size; dist <<= 1 {
+		to := (me + dist) % size
+		from := (me - dist + size) % size
+		rs := p.Isend(to, tagBarrier, nil, 0)
+		rr := p.Irecv(from, tagBarrier, nil)
+		p.WaitAll(rs, rr)
+	}
+}
+
+func barrierFanInFanOut(p *mpi.Proc) {
+	// Gather zero-byte tokens up a binomial tree rooted at 0, then release
+	// down it.
+	Gather(p, GatherBinomial, 0, Synthetic(0), 0)
+	Bcast(p, BcastBinomial, 0, Synthetic(0), 0)
+}

@@ -1,0 +1,349 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpicollperf/internal/mpi"
+	"mpicollperf/internal/simnet"
+)
+
+func testConfig(nodes int) simnet.Config {
+	return simnet.Config{
+		Nodes:        nodes,
+		Latency:      20e-6,
+		ByteTimeSend: 1e-9,
+		ByteTimeRecv: 1e-9,
+		SendOverhead: 1e-6,
+		RecvOverhead: 1e-6,
+	}
+}
+
+// pattern fills a deterministic, position-dependent payload so that any
+// misdirected or reordered segment corrupts the checksum.
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*31 ^ seed ^ byte(i>>8)
+	}
+	return b
+}
+
+// runBcast broadcasts a pattern payload and verifies every rank received
+// it intact.
+func runBcast(t *testing.T, alg BcastAlgorithm, nprocs, size, segSize, root int) {
+	t.Helper()
+	payload := pattern(size, byte(root)+1)
+	_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+		var m Msg
+		if p.Rank() == root {
+			m = Bytes(append([]byte(nil), payload...))
+		} else {
+			m = Bytes(make([]byte, size))
+		}
+		Bcast(p, alg, root, m, segSize)
+		if !bytes.Equal(m.Data, payload) {
+			return fmt.Errorf("rank %d: corrupted broadcast (alg %v, P=%d, m=%d, seg=%d, root=%d)",
+				p.Rank(), alg, nprocs, size, segSize, root)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastAllAlgorithmsDeliver(t *testing.T) {
+	for _, alg := range BcastAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, nprocs := range []int{2, 3, 4, 5, 7, 8, 12, 16, 23} {
+				for _, size := range []int{1, 64, 1000, 4096} {
+					runBcast(t, alg, nprocs, size, 512, 0)
+				}
+			}
+		})
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	for _, alg := range BcastAlgorithms() {
+		for _, root := range []int{1, 3, 6} {
+			runBcast(t, alg, 7, 777, 128, root)
+		}
+	}
+}
+
+func TestBcastSingleSegment(t *testing.T) {
+	// Segment size >= message: no segmentation, still correct.
+	for _, alg := range BcastAlgorithms() {
+		runBcast(t, alg, 6, 100, 1<<20, 0)
+		runBcast(t, alg, 6, 100, 0, 0) // segsize 0 = unsegmented
+	}
+}
+
+func TestBcastSingleRank(t *testing.T) {
+	_, err := mpi.Run(testConfig(1), 1, func(p *mpi.Proc) error {
+		Bcast(p, BcastBinomial, 0, Bytes([]byte{1, 2, 3}), 2)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastZeroBytes(t *testing.T) {
+	for _, alg := range BcastAlgorithms() {
+		alg := alg
+		_, err := mpi.Run(testConfig(5), 5, func(p *mpi.Proc) error {
+			Bcast(p, alg, 0, Synthetic(0), 8192)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
+
+func TestBcastSyntheticMode(t *testing.T) {
+	// Synthetic payloads must complete and take identical virtual time to
+	// real payloads of the same size.
+	for _, alg := range BcastAlgorithms() {
+		alg := alg
+		const size, seg = 10000, 1024
+		realRes, err := mpi.Run(testConfig(9), 9, func(p *mpi.Proc) error {
+			var m Msg
+			if p.Rank() == 0 {
+				m = Bytes(pattern(size, 3))
+			} else {
+				m = Bytes(make([]byte, size))
+			}
+			Bcast(p, alg, 0, m, seg)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		synRes, err := mpi.Run(testConfig(9), 9, func(p *mpi.Proc) error {
+			Bcast(p, alg, 0, Synthetic(size), seg)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if realRes.MakeSpan != synRes.MakeSpan {
+			t.Fatalf("%v: synthetic timing %v != real timing %v",
+				alg, synRes.MakeSpan, realRes.MakeSpan)
+		}
+	}
+}
+
+func TestBcastInvalidArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(p *mpi.Proc)
+	}{
+		{"bad root", func(p *mpi.Proc) { Bcast(p, BcastBinomial, 99, Synthetic(8), 4) }},
+		{"bad alg", func(p *mpi.Proc) { Bcast(p, BcastAlgorithm(42), 0, Synthetic(8), 4) }},
+		{"size mismatch", func(p *mpi.Proc) { Bcast(p, BcastBinomial, 0, Msg{Data: []byte{1}, Size: 5}, 4) }},
+		{"negative size", func(p *mpi.Proc) { Bcast(p, BcastBinomial, 0, Msg{Size: -2}, 4) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := mpi.Run(testConfig(3), 3, func(p *mpi.Proc) error {
+				c.fn(p)
+				return nil
+			})
+			if err == nil {
+				t.Fatalf("%s: expected error", c.name)
+			}
+		})
+	}
+}
+
+func TestParseBcastAlgorithm(t *testing.T) {
+	for _, a := range BcastAlgorithms() {
+		got, err := ParseBcastAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Fatalf("round trip failed for %v", a)
+		}
+	}
+	if _, err := ParseBcastAlgorithm("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+	if BcastAlgorithm(99).String() == "" {
+		t.Fatal("unknown algorithm should still stringify")
+	}
+}
+
+func TestSegmentedProperties(t *testing.T) {
+	s := segmented(Msg{Size: 10000}, 1024)
+	if s.segments != 10 {
+		t.Fatalf("segments = %d", s.segments)
+	}
+	total := 0
+	for i := 0; i < s.segments; i++ {
+		total += s.seg(i).Size
+		if i < s.segments-1 && s.seg(i).Size != 1024 {
+			t.Fatalf("segment %d size %d", i, s.seg(i).Size)
+		}
+	}
+	if total != 10000 {
+		t.Fatalf("segments cover %d bytes", total)
+	}
+	if NumSegments(4<<20, 8192) != 512 {
+		t.Fatalf("NumSegments(4MB, 8KB) = %d", NumSegments(4<<20, 8192))
+	}
+	if NumSegments(100, 0) != 1 || NumSegments(0, 8192) != 1 {
+		t.Fatal("degenerate segment counts")
+	}
+}
+
+// Property: segmentation covers the message exactly, in order, for any
+// (size, segSize).
+func TestSegmentationCoversProperty(t *testing.T) {
+	f := func(sizeRaw uint16, segRaw uint8) bool {
+		size := int(sizeRaw)
+		seg := int(segRaw)
+		s := segmented(Msg{Size: size}, seg)
+		total := 0
+		for i := 0; i < s.segments; i++ {
+			m := s.seg(i)
+			if m.Size < 0 {
+				return false
+			}
+			total += m.Size
+		}
+		return total == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every broadcast algorithm delivers an arbitrary payload for
+// arbitrary (P, size, segSize, root).
+func TestBcastDeliversProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(algRaw, npRaw, rootRaw uint8, sizeRaw uint16, segRaw uint8) bool {
+		alg := BcastAlgorithm(int(algRaw) % numBcastAlgorithms)
+		nprocs := int(npRaw%20) + 2
+		root := int(rootRaw) % nprocs
+		size := int(sizeRaw%5000) + 1
+		segSize := int(segRaw)%700 + 1
+		payload := make([]byte, size)
+		rng.Read(payload)
+		ok := true
+		_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+			var m Msg
+			if p.Rank() == root {
+				m = Bytes(append([]byte(nil), payload...))
+			} else {
+				m = Bytes(make([]byte, size))
+			}
+			Bcast(p, alg, root, m, segSize)
+			if !bytes.Equal(m.Data, payload) {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitBinaryPairingCoversAllRanks(t *testing.T) {
+	// Every non-root rank must end up with a source for its missing half.
+	for size := 3; size <= 64; size++ {
+		pl := planSplitBinary(size, 0, Msg{Size: 16384}, 1024)
+		for r := 1; r < size; r++ {
+			if pl.subtree[r] < 0 {
+				t.Fatalf("P=%d: rank %d not assigned to a subtree", size, r)
+			}
+			if pl.partner[r] < 0 {
+				if _, ok := pl.server[r]; !ok {
+					t.Fatalf("P=%d: rank %d has neither partner nor server", size, r)
+				}
+			}
+		}
+		// Partners must be in opposite subtrees.
+		for r := 1; r < size; r++ {
+			if q := pl.partner[r]; q >= 0 && pl.subtree[q] == pl.subtree[r] {
+				t.Fatalf("P=%d: pair (%d,%d) in same subtree", size, r, q)
+			}
+		}
+		// Halves must tile the message.
+		if pl.lo[0] != 0 || pl.hi[0] != pl.lo[1] || pl.hi[1] != 16384 {
+			t.Fatalf("P=%d: halves don't tile: %v %v", size, pl.lo, pl.hi)
+		}
+	}
+}
+
+func TestChainIsPipelineTopology(t *testing.T) {
+	// The chain algorithm's completion time must scale with P + n_s, not
+	// P * n_s: with pipelining, doubling the segments should add roughly
+	// the per-segment time, not double the total.
+	cfg := testConfig(16)
+	timeFor := func(segs int) float64 {
+		const seg = 8192
+		res, err := mpi.Run(cfg, 16, func(p *mpi.Proc) error {
+			Bcast(p, BcastChain, 0, Synthetic(seg*segs), seg)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakeSpan
+	}
+	t8, t16 := timeFor(8), timeFor(16)
+	if t16 > 1.6*t8 {
+		t.Fatalf("chain not pipelined: t(16 segs)=%v vs t(8 segs)=%v", t16, t8)
+	}
+}
+
+func TestLinearSlowerThanTreesAtLargeP(t *testing.T) {
+	// For many processes and a large message, the linear algorithm's
+	// serialised root must lose to the pipelined chain — the basic fact
+	// that motivates algorithm selection.
+	cfg := testConfig(24)
+	const size = 1 << 20
+	timeFor := func(alg BcastAlgorithm) float64 {
+		res, err := mpi.Run(cfg, 24, func(p *mpi.Proc) error {
+			Bcast(p, alg, 0, Synthetic(size), 8192)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakeSpan
+	}
+	lin, chain := timeFor(BcastLinear), timeFor(BcastChain)
+	if lin <= chain {
+		t.Fatalf("linear (%v) should be slower than chain (%v) at P=24, m=1MB", lin, chain)
+	}
+}
+
+func TestBinomialBeatsChainForSmallMessages(t *testing.T) {
+	// Small message, many processes: latency dominates, so the log-depth
+	// binomial tree must beat the P-deep chain.
+	cfg := testConfig(32)
+	timeFor := func(alg BcastAlgorithm) float64 {
+		res, err := mpi.Run(cfg, 32, func(p *mpi.Proc) error {
+			Bcast(p, alg, 0, Synthetic(8192), 8192)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakeSpan
+	}
+	bin, chain := timeFor(BcastBinomial), timeFor(BcastChain)
+	if bin >= chain {
+		t.Fatalf("binomial (%v) should beat chain (%v) for one small segment", bin, chain)
+	}
+}

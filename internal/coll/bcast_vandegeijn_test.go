@@ -1,0 +1,126 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mpicollperf/internal/mpi"
+)
+
+func runVanDeGeijn(t *testing.T, variant VanDeGeijnVariant, nprocs, size, root int) {
+	t.Helper()
+	payload := pattern(size, byte(root)+7)
+	_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+		var m Msg
+		if p.Rank() == root {
+			m = Bytes(append([]byte(nil), payload...))
+		} else {
+			m = Bytes(make([]byte, size))
+		}
+		BcastVanDeGeijn(p, variant, root, m)
+		if !bytes.Equal(m.Data, payload) {
+			return fmt.Errorf("rank %d: corrupted broadcast (%v, P=%d, m=%d, root=%d)",
+				p.Rank(), variant, nprocs, size, root)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVanDeGeijnDelivers(t *testing.T) {
+	for _, variant := range []VanDeGeijnVariant{VanDeGeijnRing, VanDeGeijnRecDoubling} {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			for _, nprocs := range []int{2, 3, 4, 5, 7, 8, 13, 16} {
+				for _, size := range []int{1, 5, 1000, 4096, 100000} {
+					runVanDeGeijn(t, variant, nprocs, size, 0)
+				}
+			}
+		})
+	}
+}
+
+func TestVanDeGeijnNonZeroRoot(t *testing.T) {
+	for _, root := range []int{1, 4, 6} {
+		runVanDeGeijn(t, VanDeGeijnRing, 7, 12345, root)
+		runVanDeGeijn(t, VanDeGeijnRecDoubling, 7, 12345, root)
+	}
+}
+
+func TestVanDeGeijnTinyMessages(t *testing.T) {
+	// m < P: trailing ranks own empty pieces.
+	runVanDeGeijn(t, VanDeGeijnRing, 16, 3, 0)
+	// Zero bytes still completes.
+	_, err := mpi.Run(testConfig(4), 4, func(p *mpi.Proc) error {
+		BcastVanDeGeijn(p, VanDeGeijnRing, 0, Synthetic(0))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVanDeGeijnSynthetic(t *testing.T) {
+	for _, variant := range []VanDeGeijnVariant{VanDeGeijnRing, VanDeGeijnRecDoubling} {
+		variant := variant
+		_, err := mpi.Run(testConfig(9), 9, func(p *mpi.Proc) error {
+			BcastVanDeGeijn(p, variant, 0, Synthetic(1<<20))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+	}
+}
+
+func TestVanDeGeijnBandwidthAdvantage(t *testing.T) {
+	// For a very large message, scatter+ring-allgather moves ≈ 2m/P per
+	// port versus the binomial tree's m per hop, so it must win at scale.
+	cfg := testConfig(16)
+	const m = 8 << 20
+	vdg, err := mpi.Run(cfg, 16, func(p *mpi.Proc) error {
+		BcastVanDeGeijn(p, VanDeGeijnRing, 0, Synthetic(m))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binom, err := mpi.Run(cfg, 16, func(p *mpi.Proc) error {
+		Bcast(p, BcastBinomial, 0, Synthetic(m), 0) // unsegmented binomial
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vdg.MakeSpan >= binom.MakeSpan {
+		t.Fatalf("van de Geijn (%v) should beat unsegmented binomial (%v) for 8MB at P=16",
+			vdg.MakeSpan, binom.MakeSpan)
+	}
+}
+
+func TestVanDeGeijnCoefficients(t *testing.T) {
+	// P=8, m=8000: bs=1000, h=3.
+	a, b := VanDeGeijnCoefficients(VanDeGeijnRing, 8, 8000)
+	if a != 3+7 {
+		t.Fatalf("ring a = %v", a)
+	}
+	if b != 7*1000+7*1000 {
+		t.Fatalf("ring b = %v", b)
+	}
+	a, _ = VanDeGeijnCoefficients(VanDeGeijnRecDoubling, 8, 8000)
+	if a != 3+3 {
+		t.Fatalf("rdb a = %v", a)
+	}
+	// Non-power-of-two rdb falls back to ring rounds.
+	a, _ = VanDeGeijnCoefficients(VanDeGeijnRecDoubling, 6, 6000)
+	ra, _ := VanDeGeijnCoefficients(VanDeGeijnRing, 6, 6000)
+	if a != ra {
+		t.Fatal("rdb fallback should match ring")
+	}
+	if a, b := VanDeGeijnCoefficients(VanDeGeijnRing, 1, 100); a != 0 || b != 0 {
+		t.Fatal("P=1 should be free")
+	}
+}

@@ -1,0 +1,232 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mpicollperf/internal/mpi"
+)
+
+func runScatter(t *testing.T, alg ScatterAlgorithm, nprocs, blockSize, root int) {
+	t.Helper()
+	_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+		var m Msg
+		if p.Rank() == root {
+			full := make([]byte, blockSize*nprocs)
+			for r := 0; r < nprocs; r++ {
+				copy(full[r*blockSize:(r+1)*blockSize], pattern(blockSize, byte(r)))
+			}
+			m = Bytes(full)
+		} else {
+			m = Bytes(make([]byte, blockSize))
+		}
+		Scatter(p, alg, root, m, blockSize)
+		if p.Rank() != root {
+			if !bytes.Equal(m.Data, pattern(blockSize, byte(p.Rank()))) {
+				return fmt.Errorf("rank %d: wrong scatter block (alg %v, P=%d, root=%d)",
+					p.Rank(), alg, nprocs, root)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterAllAlgorithms(t *testing.T) {
+	for _, alg := range ScatterAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, nprocs := range []int{2, 3, 5, 8, 13} {
+				for _, bs := range []int{1, 33, 256} {
+					runScatter(t, alg, nprocs, bs, 0)
+				}
+			}
+		})
+	}
+}
+
+func TestScatterNonZeroRoot(t *testing.T) {
+	for _, alg := range ScatterAlgorithms() {
+		for _, root := range []int{2, 5} {
+			runScatter(t, alg, 6, 48, root)
+		}
+	}
+}
+
+func TestScatterBinomialBeatsLinearWhenOverheadDominates(t *testing.T) {
+	// Binomial scatter sends O(log P) messages from the root instead of
+	// P-1, so when the per-message CPU overhead dominates (high o_s, low
+	// latency) it must beat the linear scatter. The opposite holds on
+	// latency-dominated networks — both directions are what makes
+	// algorithm selection non-trivial.
+	cfg := testConfig(32)
+	cfg.SendOverhead = 10e-6
+	cfg.Latency = 2e-6
+	timeFor := func(alg ScatterAlgorithm) float64 {
+		res, err := mpi.Run(cfg, 32, func(p *mpi.Proc) error {
+			if p.Rank() == 0 {
+				Scatter(p, alg, 0, Synthetic(32*64), 64)
+			} else {
+				Scatter(p, alg, 0, Synthetic(64), 64)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakeSpan
+	}
+	lin, bin := timeFor(ScatterLinear), timeFor(ScatterBinomial)
+	if bin >= lin {
+		t.Fatalf("binomial scatter (%v) should beat linear (%v) for small blocks at P=32", bin, lin)
+	}
+}
+
+func runReduce(t *testing.T, alg ReduceAlgorithm, nprocs, size, root, segSize int) {
+	t.Helper()
+	// Every rank contributes its rank value repeated; byte-wise sum at the
+	// root must equal sum(0..P-1) mod 256 in every position.
+	wantByte := byte((nprocs * (nprocs - 1) / 2) % 256)
+	_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+		contrib := make([]byte, size)
+		for i := range contrib {
+			contrib[i] = byte(p.Rank())
+		}
+		Reduce(p, alg, root, Bytes(contrib), OpSum, segSize)
+		if p.Rank() == root {
+			for i, b := range contrib {
+				if b != wantByte {
+					return fmt.Errorf("root byte %d = %d, want %d (alg %v, P=%d)",
+						i, b, wantByte, alg, nprocs)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAllAlgorithms(t *testing.T) {
+	for _, alg := range ReduceAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, nprocs := range []int{2, 3, 5, 9, 16} {
+				for _, size := range []int{1, 100, 4000} {
+					runReduce(t, alg, nprocs, size, 0, 512)
+				}
+			}
+		})
+	}
+}
+
+func TestReduceNonZeroRoot(t *testing.T) {
+	for _, alg := range ReduceAlgorithms() {
+		runReduce(t, alg, 7, 123, 3, 64)
+	}
+}
+
+func TestReduceOpMax(t *testing.T) {
+	_, err := mpi.Run(testConfig(4), 4, func(p *mpi.Proc) error {
+		contrib := []byte{byte(p.Rank() * 10), byte(100 - p.Rank())}
+		Reduce(p, ReduceBinomial, 0, Bytes(contrib), OpMax, 0)
+		if p.Rank() == 0 {
+			if contrib[0] != 30 || contrib[1] != 100 {
+				return fmt.Errorf("max reduce = %v", contrib)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSynthetic(t *testing.T) {
+	for _, alg := range ReduceAlgorithms() {
+		alg := alg
+		_, err := mpi.Run(testConfig(6), 6, func(p *mpi.Proc) error {
+			Reduce(p, alg, 0, Synthetic(10000), nil, 1024)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
+
+func TestReduceNeedsOpForRealData(t *testing.T) {
+	_, err := mpi.Run(testConfig(2), 2, func(p *mpi.Proc) error {
+		Reduce(p, ReduceLinear, 0, Bytes([]byte{1}), nil, 0)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("real-data reduce without op should fail")
+	}
+}
+
+func TestBarrierAlgorithms(t *testing.T) {
+	for _, alg := range BarrierAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, nprocs := range []int{1, 2, 3, 7, 8, 15} {
+				after := make([]float64, nprocs)
+				_, err := mpi.Run(testConfig(max(nprocs, 1)), nprocs, func(p *mpi.Proc) error {
+					d := float64(p.Rank()) * 1e-4
+					p.Sleep(d)
+					Barrier(p, alg)
+					after[p.Rank()] = p.Now()
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// No rank may leave the barrier before the slowest entered.
+				for r, tm := range after {
+					if nprocs > 1 && tm < float64(nprocs-1)*1e-4 {
+						t.Fatalf("P=%d: rank %d left barrier at %v before slowest arrival", nprocs, r, tm)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Property: reduce result is permutation-independent data-wise — the sum
+// over ranks is fixed regardless of algorithm.
+func TestReduceAlgorithmsAgreeProperty(t *testing.T) {
+	f := func(npRaw, sizeRaw uint8) bool {
+		nprocs := int(npRaw%12) + 2
+		size := int(sizeRaw%200) + 1
+		results := make([][]byte, 0, numReduceAlgorithms)
+		for _, alg := range ReduceAlgorithms() {
+			var got []byte
+			_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+				contrib := pattern(size, byte(p.Rank()*7))
+				Reduce(p, alg, 0, Bytes(contrib), OpSum, 64)
+				if p.Rank() == 0 {
+					got = append([]byte(nil), contrib...)
+				}
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+			results = append(results, got)
+		}
+		for i := 1; i < len(results); i++ {
+			if !bytes.Equal(results[0], results[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

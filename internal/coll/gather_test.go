@@ -1,0 +1,183 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mpicollperf/internal/mpi"
+)
+
+// runGather gathers rank-stamped blocks and verifies the root's assembly.
+func runGather(t *testing.T, alg GatherAlgorithm, nprocs, blockSize, root int) {
+	t.Helper()
+	_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+		var m Msg
+		if p.Rank() == root {
+			full := make([]byte, blockSize*nprocs)
+			// Pre-fill the root's own block.
+			copy(full[root*blockSize:(root+1)*blockSize], pattern(blockSize, byte(root)))
+			m = Bytes(full)
+		} else {
+			m = Bytes(pattern(blockSize, byte(p.Rank())))
+		}
+		Gather(p, alg, root, m, blockSize)
+		if p.Rank() == root {
+			for r := 0; r < nprocs; r++ {
+				want := pattern(blockSize, byte(r))
+				got := m.Data[r*blockSize : (r+1)*blockSize]
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("root: block %d corrupted (alg %v, P=%d, bs=%d, root=%d)",
+						r, alg, nprocs, blockSize, root)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherAllAlgorithms(t *testing.T) {
+	for _, alg := range GatherAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, nprocs := range []int{2, 3, 5, 8, 13, 16} {
+				for _, bs := range []int{1, 17, 256} {
+					runGather(t, alg, nprocs, bs, 0)
+				}
+			}
+		})
+	}
+}
+
+func TestGatherNonZeroRoot(t *testing.T) {
+	for _, alg := range GatherAlgorithms() {
+		for _, root := range []int{1, 4, 7} {
+			runGather(t, alg, 8, 64, root)
+		}
+	}
+}
+
+func TestGatherSingleRank(t *testing.T) {
+	_, err := mpi.Run(testConfig(1), 1, func(p *mpi.Proc) error {
+		Gather(p, GatherBinomial, 0, Bytes([]byte{9}), 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherSynthetic(t *testing.T) {
+	for _, alg := range GatherAlgorithms() {
+		alg := alg
+		_, err := mpi.Run(testConfig(6), 6, func(p *mpi.Proc) error {
+			if p.Rank() == 2 {
+				Gather(p, alg, 2, Synthetic(6*100), 100)
+			} else {
+				Gather(p, alg, 2, Synthetic(100), 100)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
+
+func TestGatherBadSizes(t *testing.T) {
+	_, err := mpi.Run(testConfig(3), 3, func(p *mpi.Proc) error {
+		Gather(p, GatherLinearNoSync, 0, Synthetic(5), 100) // wrong everywhere
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected size validation error")
+	}
+}
+
+func TestGatherNoSyncFasterThanSync(t *testing.T) {
+	// The synchronised gather adds a round trip per rank; without
+	// synchronisation must be faster.
+	timeFor := func(alg GatherAlgorithm) float64 {
+		res, err := mpi.Run(testConfig(12), 12, func(p *mpi.Proc) error {
+			if p.Rank() == 0 {
+				Gather(p, alg, 0, Synthetic(12*4096), 4096)
+			} else {
+				Gather(p, alg, 0, Synthetic(4096), 4096)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakeSpan
+	}
+	if timeFor(GatherLinearNoSync) >= timeFor(GatherLinearSync) {
+		t.Fatal("nosync gather should be faster than sync gather")
+	}
+}
+
+func TestBinomialSubtreeSize(t *testing.T) {
+	cases := []struct{ v, size, want int }{
+		{0, 8, 8}, {4, 8, 4}, {2, 8, 2}, {6, 8, 2}, {1, 8, 1},
+		{4, 6, 2}, {4, 5, 1}, {0, 1, 1}, {2, 3, 1},
+	}
+	for _, c := range cases {
+		if got := binomialSubtreeSize(c.v, c.size); got != c.want {
+			t.Errorf("subtree(%d, %d) = %d, want %d", c.v, c.size, got, c.want)
+		}
+	}
+}
+
+// Property: subtree sizes of a binomial tree partition the rank space.
+func TestBinomialSubtreePartitionProperty(t *testing.T) {
+	f := func(sizeRaw uint8) bool {
+		size := int(sizeRaw%120) + 1
+		// The root's subtree is everything; children partition [1, size).
+		total := 1
+		for mask := 1; mask < size; mask <<= 1 {
+			total += binomialSubtreeSize(mask, size)
+		}
+		return total == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gather assembles arbitrary blocks for arbitrary (alg, P, root).
+func TestGatherProperty(t *testing.T) {
+	f := func(algRaw, npRaw, rootRaw, bsRaw uint8) bool {
+		alg := GatherAlgorithm(int(algRaw) % numGatherAlgorithms)
+		nprocs := int(npRaw%16) + 2
+		root := int(rootRaw) % nprocs
+		bs := int(bsRaw%120) + 1
+		ok := true
+		_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+			var m Msg
+			if p.Rank() == root {
+				full := make([]byte, bs*nprocs)
+				copy(full[root*bs:(root+1)*bs], pattern(bs, byte(root)))
+				m = Bytes(full)
+			} else {
+				m = Bytes(pattern(bs, byte(p.Rank())))
+			}
+			Gather(p, alg, root, m, bs)
+			if p.Rank() == root {
+				for r := 0; r < nprocs; r++ {
+					if !bytes.Equal(m.Data[r*bs:(r+1)*bs], pattern(bs, byte(r))) {
+						ok = false
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

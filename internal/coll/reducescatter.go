@@ -1,0 +1,157 @@
+package coll
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mpicollperf/internal/mpi"
+)
+
+// ReduceScatterAlgorithm identifies a block reduce-scatter implementation
+// (every rank contributes a P·blockSize vector; rank r ends up with the
+// fully reduced block r).
+type ReduceScatterAlgorithm int
+
+const (
+	// ReduceScatterRing is the P-1-step ring used inside the Rabenseifner
+	// allreduce: bandwidth-optimal, each rank forwards partial sums.
+	ReduceScatterRing ReduceScatterAlgorithm = iota
+	// ReduceScatterHalving is recursive halving: log2 P rounds exchanging
+	// halves of the remaining range (power-of-two ranks; ring fallback).
+	ReduceScatterHalving
+	// ReduceScatterReduceThenScatter reduces everything to rank 0 and
+	// scatters the blocks — the naive composition.
+	ReduceScatterReduceThenScatter
+
+	numReduceScatterAlgorithms = iota
+)
+
+// String returns the algorithm's name.
+func (a ReduceScatterAlgorithm) String() string {
+	switch a {
+	case ReduceScatterRing:
+		return "ring"
+	case ReduceScatterHalving:
+		return "recursive_halving"
+	case ReduceScatterReduceThenScatter:
+		return "reduce_scatter"
+	}
+	return fmt.Sprintf("ReduceScatterAlgorithm(%d)", int(a))
+}
+
+// ReduceScatterAlgorithms lists all reduce-scatter algorithms.
+func ReduceScatterAlgorithms() []ReduceScatterAlgorithm {
+	out := make([]ReduceScatterAlgorithm, numReduceScatterAlgorithms)
+	for i := range out {
+		out[i] = ReduceScatterAlgorithm(i)
+	}
+	return out
+}
+
+// ReduceScatter combines the P·blockSize-byte vectors of all ranks under
+// op and leaves the reduced block r in m[r*blockSize:(r+1)*blockSize] of
+// rank r (the rest of m is scratch on return).
+func ReduceScatter(p *mpi.Proc, alg ReduceScatterAlgorithm, m Msg, op ReduceOp, blockSize int) {
+	m.check()
+	if blockSize < 0 {
+		panic(fmt.Errorf("coll: negative reduce-scatter block size %d", blockSize))
+	}
+	if m.Size != blockSize*p.Size() {
+		panic(fmt.Errorf("coll: reduce-scatter buffer %d bytes, want %d", m.Size, blockSize*p.Size()))
+	}
+	if m.Data != nil && op == nil {
+		panic(fmt.Errorf("coll: reduce-scatter with real data needs an op"))
+	}
+	if p.Size() == 1 {
+		return
+	}
+	switch alg {
+	case ReduceScatterRing:
+		reduceScatterRing(p, m, op, blockSize)
+	case ReduceScatterHalving:
+		if bits.OnesCount(uint(p.Size())) != 1 {
+			reduceScatterRing(p, m, op, blockSize)
+			return
+		}
+		reduceScatterHalving(p, m, op, blockSize)
+	case ReduceScatterReduceThenScatter:
+		Reduce(p, ReduceBinomial, 0, m, op, 0)
+		if p.Rank() == 0 {
+			Scatter(p, ScatterBinomial, 0, m, blockSize)
+		} else {
+			own := m.slice(p.Rank()*blockSize, (p.Rank()+1)*blockSize)
+			Scatter(p, ScatterBinomial, 0, own, blockSize)
+		}
+	default:
+		panic(fmt.Errorf("coll: unknown reduce-scatter algorithm %d", int(alg)))
+	}
+}
+
+// reduceScatterRing: in step k each rank sends the partial block
+// (me-k) mod P to the right and combines the incoming block (me-k-1) mod P
+// into its local vector; after P-1 steps rank me holds the full reduction
+// of block (me+1) mod P... which is then moved to the conventional slot.
+func reduceScatterRing(p *mpi.Proc, m Msg, op ReduceOp, bs int) {
+	size := p.Size()
+	me := p.Rank()
+	right := (me + 1) % size
+	left := (me - 1 + size) % size
+	tmp := makeScratch(Msg{Size: bs})
+	if m.Data != nil {
+		tmp = Bytes(make([]byte, bs))
+	}
+	for k := 0; k < size-1; k++ {
+		si := (me - k + size) % size
+		ri := (me - k - 1 + size) % size
+		sb := m.slice(si*bs, (si+1)*bs)
+		rs := p.Isend(right, tagReduce, sb.Data, sb.Size)
+		rr := p.Irecv(left, tagReduce, tmp.Data)
+		p.WaitAll(rs, rr)
+		dst := m.slice(ri*bs, (ri+1)*bs)
+		combine(dst, tmp, op)
+	}
+	// Rank me now holds block (me+1) mod P fully reduced; ship it one hop
+	// to its owner so the external contract (rank r owns block r) holds.
+	owned := (me + 1) % size
+	ob := m.slice(owned*bs, (owned+1)*bs)
+	rs := p.Isend(owned, tagReduce, ob.Data, ob.Size)
+	mine := m.slice(me*bs, (me+1)*bs)
+	rr := p.Irecv(left, tagReduce, mine.Data)
+	p.WaitAll(rs, rr)
+}
+
+// reduceScatterHalving: classic recursive halving. In round k (distance
+// d = P/2^(k+1) within the current range) each rank exchanges the half of
+// the range it does not own with its partner and combines the half it
+// does; after log2 P rounds each rank holds its own fully reduced block.
+func reduceScatterHalving(p *mpi.Proc, m Msg, op ReduceOp, bs int) {
+	size := p.Size()
+	me := p.Rank()
+	tmp := makeScratch(Msg{Size: size / 2 * bs})
+	if m.Data != nil {
+		tmp = Bytes(make([]byte, size/2*bs))
+	}
+	lo, hi := 0, size // current block range [lo, hi)
+	for hi-lo > 1 {
+		half := (hi - lo) / 2
+		mid := lo + half
+		var partner int
+		var sendLo, keepLo int
+		if me < mid {
+			partner = me + half
+			sendLo, keepLo = mid, lo
+			hi = mid
+		} else {
+			partner = me - half
+			sendLo, keepLo = lo, mid
+			lo = mid
+		}
+		n := half * bs
+		sb := m.slice(sendLo*bs, sendLo*bs+n)
+		rs := p.Isend(partner, tagReduce, sb.Data, sb.Size)
+		rr := p.Irecv(partner, tagReduce, sliceData(tmp, 0, n))
+		p.WaitAll(rs, rr)
+		dst := m.slice(keepLo*bs, keepLo*bs+n)
+		combine(dst, Msg{Data: sliceData(tmp, 0, n), Size: n}, op)
+	}
+}

@@ -1,0 +1,145 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mpicollperf/internal/mpi"
+)
+
+func runReduceScatter(t *testing.T, alg ReduceScatterAlgorithm, nprocs, blockSize int) {
+	t.Helper()
+	// Rank r contributes value (r+1) in every byte of block b scaled by
+	// (b+1); the reduced block b is Σ_r (r+1)·(b+1) mod 256.
+	_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+		me := p.Rank()
+		vec := make([]byte, blockSize*nprocs)
+		for b := 0; b < nprocs; b++ {
+			for i := 0; i < blockSize; i++ {
+				vec[b*blockSize+i] = byte((me + 1) * (b + 1))
+			}
+		}
+		ReduceScatter(p, alg, Bytes(vec), OpSum, blockSize)
+		sum := 0
+		for r := 0; r < nprocs; r++ {
+			sum += r + 1
+		}
+		want := byte(sum * (me + 1))
+		for i := 0; i < blockSize; i++ {
+			if got := vec[me*blockSize+i]; got != want {
+				return fmt.Errorf("rank %d byte %d = %d, want %d (alg %v, P=%d, bs=%d)",
+					me, i, got, want, alg, nprocs, blockSize)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterAllAlgorithms(t *testing.T) {
+	for _, alg := range ReduceScatterAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, nprocs := range []int{2, 3, 4, 5, 8, 11, 16} {
+				for _, bs := range []int{1, 16, 200} {
+					runReduceScatter(t, alg, nprocs, bs)
+				}
+			}
+		})
+	}
+}
+
+func TestReduceScatterSynthetic(t *testing.T) {
+	for _, alg := range ReduceScatterAlgorithms() {
+		alg := alg
+		_, err := mpi.Run(testConfig(8), 8, func(p *mpi.Proc) error {
+			ReduceScatter(p, alg, Synthetic(8*4096), nil, 4096)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
+
+func TestReduceScatterValidation(t *testing.T) {
+	_, err := mpi.Run(testConfig(3), 3, func(p *mpi.Proc) error {
+		ReduceScatter(p, ReduceScatterRing, Synthetic(10), nil, 100)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("size mismatch should fail")
+	}
+	_, err = mpi.Run(testConfig(2), 2, func(p *mpi.Proc) error {
+		ReduceScatter(p, ReduceScatterRing, Bytes(make([]byte, 4)), nil, 2)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("real data without op should fail")
+	}
+}
+
+func TestReduceScatterSingleRank(t *testing.T) {
+	_, err := mpi.Run(testConfig(1), 1, func(p *mpi.Proc) error {
+		ReduceScatter(p, ReduceScatterHalving, Bytes([]byte{1, 2}), OpSum, 2)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterRingBeatsNaiveForLargeVectors(t *testing.T) {
+	timeFor := func(alg ReduceScatterAlgorithm) float64 {
+		res, err := mpi.Run(testConfig(16), 16, func(p *mpi.Proc) error {
+			ReduceScatter(p, alg, Synthetic(16*262144), nil, 262144)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakeSpan
+	}
+	if timeFor(ReduceScatterRing) >= timeFor(ReduceScatterReduceThenScatter) {
+		t.Fatal("ring should beat reduce+scatter for 4MB vectors at P=16")
+	}
+}
+
+// Property: all three algorithms agree bit-for-bit on every rank's block.
+func TestReduceScatterAlgorithmsAgreeProperty(t *testing.T) {
+	f := func(npRaw, bsRaw uint8) bool {
+		nprocs := int(npRaw%10) + 2
+		bs := int(bsRaw%60) + 1
+		var results [][]byte
+		for _, alg := range ReduceScatterAlgorithms() {
+			collected := make([]byte, bs*nprocs)
+			_, err := mpi.Run(testConfig(nprocs), nprocs, func(p *mpi.Proc) error {
+				vec := make([]byte, bs*nprocs)
+				for i := range vec {
+					vec[i] = byte((p.Rank()*7 + i) % 251)
+				}
+				ReduceScatter(p, alg, Bytes(vec), OpSum, bs)
+				copy(collected[p.Rank()*bs:(p.Rank()+1)*bs], vec[p.Rank()*bs:(p.Rank()+1)*bs])
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+			results = append(results, collected)
+		}
+		for i := 1; i < len(results); i++ {
+			for j := range results[0] {
+				if results[0][j] != results[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

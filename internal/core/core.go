@@ -1,0 +1,168 @@
+// Package core ties the reproduction together into the library's
+// user-facing workflow, mirroring how the paper intends its method to be
+// deployed inside an MPI library:
+//
+//  1. Calibrate once per platform (offline): estimate γ(P) from
+//     non-blocking linear broadcast experiments and per-algorithm α/β from
+//     broadcast+gather experiments (§4).
+//  2. Select at run time (online): for each MPI_Bcast call, evaluate six
+//     closed-form models and take the argmin — a few hundred nanoseconds,
+//     as cheap as Open MPI's hard-coded decision function but adaptive to
+//     the platform.
+//
+// Calibrations can be persisted to JSON and reloaded, so the expensive
+// offline phase runs once per cluster.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/estimate"
+	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/model"
+	"mpicollperf/internal/selection"
+)
+
+// Selector is a calibrated run-time algorithm selector for one platform.
+type Selector struct {
+	// Profile is the platform the selector was calibrated on.
+	Profile cluster.Profile
+	// Models holds γ and the per-algorithm Hockney parameters.
+	Models model.BcastModels
+	// GammaDetail keeps the raw γ estimation diagnostics.
+	GammaDetail estimate.GammaResult
+}
+
+// Calibrate runs the full offline estimation pipeline (§4) on the profile
+// and returns a ready selector. cfg.Settings defaults to the paper's
+// methodology; cfg.Procs defaults to half the platform.
+func Calibrate(pr cluster.Profile, cfg estimate.AlphaBetaConfig) (*Selector, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	bm, gr, err := estimate.Models(pr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Selector{Profile: pr, Models: bm, GammaDetail: gr}, nil
+}
+
+// Best returns the algorithm with the minimal predicted broadcast time for
+// m bytes over P processes (the run-time decision function).
+func (s *Selector) Best(P, m int) (selection.Choice, error) {
+	return selection.ModelBased{Models: s.Models}.Select(P, m)
+}
+
+// Predict returns the modelled time of one algorithm.
+func (s *Selector) Predict(alg coll.BcastAlgorithm, P, m int) (float64, error) {
+	return s.Models.Predict(alg, P, m)
+}
+
+// PredictAll returns every algorithm's predicted time.
+func (s *Selector) PredictAll(P, m int) map[coll.BcastAlgorithm]float64 {
+	return selection.ModelBased{Models: s.Models}.PredictAll(P, m)
+}
+
+// MeasureBcast runs the algorithm on the simulated platform and returns
+// its measured mean execution time — the "ground truth" the models are
+// judged against.
+func (s *Selector) MeasureBcast(alg coll.BcastAlgorithm, P, m int, set experiment.Settings) (float64, error) {
+	meas, err := experiment.MeasureBcast(s.Profile, P, alg, m, s.Profile.SegmentSize, set)
+	if err != nil {
+		return 0, err
+	}
+	return meas.Mean, nil
+}
+
+// calibrationFile is the JSON persistence schema. Algorithm keys are
+// stored by name so the file is stable across enum reorderings.
+type calibrationFile struct {
+	Cluster  string             `json:"cluster"`
+	SegSize  int                `json:"segment_size"`
+	GammaTab map[string]float64 `json:"gamma"` // "P" -> γ(P)
+	GammaFit struct {
+		Intercept float64 `json:"intercept"`
+		Slope     float64 `json:"slope"`
+	} `json:"gamma_fit"`
+	Params map[string]struct {
+		Alpha float64 `json:"alpha"`
+		Beta  float64 `json:"beta"`
+	} `json:"params"`
+}
+
+// SaveModels writes the calibrated models to a JSON file.
+func (s *Selector) SaveModels(path string) error {
+	var f calibrationFile
+	f.Cluster = s.Models.Cluster
+	f.SegSize = s.Models.SegSize
+	f.GammaTab = make(map[string]float64, len(s.Models.Gamma.Table))
+	for p, g := range s.Models.Gamma.Table {
+		f.GammaTab[fmt.Sprint(p)] = g
+	}
+	f.GammaFit.Intercept = s.Models.Gamma.Fit.Intercept
+	f.GammaFit.Slope = s.Models.Gamma.Fit.Slope
+	f.Params = make(map[string]struct {
+		Alpha float64 `json:"alpha"`
+		Beta  float64 `json:"beta"`
+	}, len(s.Models.Params))
+	for alg, par := range s.Models.Params {
+		f.Params[alg.String()] = struct {
+			Alpha float64 `json:"alpha"`
+			Beta  float64 `json:"beta"`
+		}{par.Alpha, par.Beta}
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadModels reads a calibration JSON and attaches it to the profile,
+// returning a selector that skips the offline phase.
+func LoadModels(pr cluster.Profile, path string) (*Selector, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f calibrationFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("core: parsing %s: %w", path, err)
+	}
+	if f.Cluster != pr.Name {
+		return nil, fmt.Errorf("core: calibration is for %q, profile is %q", f.Cluster, pr.Name)
+	}
+	table := make(map[int]float64, len(f.GammaTab))
+	for k, v := range f.GammaTab {
+		var p int
+		if _, err := fmt.Sscanf(k, "%d", &p); err != nil {
+			return nil, fmt.Errorf("core: bad gamma key %q", k)
+		}
+		table[p] = v
+	}
+	g, err := model.NewGamma(table)
+	if err != nil {
+		return nil, err
+	}
+	bm := model.BcastModels{
+		Cluster: f.Cluster,
+		SegSize: f.SegSize,
+		Gamma:   g,
+		Params:  make(map[coll.BcastAlgorithm]model.Hockney, len(f.Params)),
+	}
+	for name, par := range f.Params {
+		alg, err := coll.ParseBcastAlgorithm(name)
+		if err != nil {
+			return nil, err
+		}
+		bm.Params[alg] = model.Hockney{Alpha: par.Alpha, Beta: par.Beta}
+	}
+	if len(bm.Params) == 0 {
+		return nil, fmt.Errorf("core: calibration %s has no algorithm parameters", path)
+	}
+	return &Selector{Profile: pr, Models: bm}, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/estimate"
+	"mpicollperf/internal/experiment"
+)
+
+func fastSettings() experiment.Settings {
+	return experiment.Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 30, Warmup: 1}
+}
+
+func calibrateSmall(t *testing.T) *Selector {
+	t.Helper()
+	pr, err := cluster.Grisou().WithNodes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Calibrate(pr, estimate.AlphaBetaConfig{
+		Procs:    8,
+		Sizes:    []int{8192, 65536, 524288, 2 << 20},
+		Settings: fastSettings(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestCalibrateAndSelect(t *testing.T) {
+	sel := calibrateSmall(t)
+	choice, err := sel.Best(16, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.SegSize != sel.Profile.SegmentSize {
+		t.Fatalf("choice segment size %d", choice.SegSize)
+	}
+	if choice.Alg == coll.BcastLinear {
+		t.Fatal("linear must not win a 1MB broadcast at P=16")
+	}
+	all := sel.PredictAll(16, 1<<20)
+	if len(all) != len(coll.BcastAlgorithms()) {
+		t.Fatalf("PredictAll covered %d algorithms", len(all))
+	}
+	if all[choice.Alg] > all[coll.BcastLinear] {
+		t.Fatal("selected algorithm is not the argmin")
+	}
+	if v, err := sel.Predict(coll.BcastBinomial, 16, 8192); err != nil || v <= 0 {
+		t.Fatalf("Predict = %v, %v", v, err)
+	}
+	if tm, err := sel.MeasureBcast(choice.Alg, 16, 1<<20, fastSettings()); err != nil || tm <= 0 {
+		t.Fatalf("MeasureBcast = %v, %v", tm, err)
+	}
+}
+
+func TestCalibrateRejectsInvalidProfile(t *testing.T) {
+	if _, err := Calibrate(cluster.Profile{}, estimate.AlphaBetaConfig{}); err == nil {
+		t.Fatal("invalid profile should fail")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sel := calibrateSmall(t)
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := sel.SaveModels(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(sel.Profile, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selections and predictions must be identical after a round trip.
+	for _, m := range []int{8192, 262144, 4 << 20} {
+		a, err1 := sel.Best(16, m)
+		b, err2 := loaded.Best(16, m)
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("m=%d: %v/%v vs %v/%v", m, a, err1, b, err2)
+		}
+		for _, alg := range coll.BcastAlgorithms() {
+			pa, _ := sel.Predict(alg, 16, m)
+			pb, _ := loaded.Predict(alg, 16, m)
+			if diff := pa - pb; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("%v at m=%d: %v vs %v", alg, m, pa, pb)
+			}
+		}
+	}
+}
+
+func TestLoadModelsValidation(t *testing.T) {
+	sel := calibrateSmall(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cal.json")
+	if err := sel.SaveModels(path); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong cluster.
+	if _, err := LoadModels(cluster.Gros(), path); err == nil {
+		t.Fatal("cluster mismatch should fail")
+	}
+	// Missing file.
+	if _, err := LoadModels(sel.Profile, filepath.Join(dir, "nope.json")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	// Corrupt file.
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModels(sel.Profile, bad); err == nil {
+		t.Fatal("corrupt file should fail")
+	}
+	// Valid JSON but empty params.
+	empty := filepath.Join(dir, "empty.json")
+	if err := writeFile(empty, `{"cluster":"grisou","segment_size":8192,"gamma":{"3":1.1},"params":{}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModels(sel.Profile, empty); err == nil {
+		t.Fatal("empty params should fail")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

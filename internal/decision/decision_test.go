@@ -1,0 +1,168 @@
+package decision
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/model"
+	"mpicollperf/internal/selection"
+)
+
+// syntheticModels builds a model set with uniform parameters so the
+// structural coefficients decide, giving deterministic regions to test
+// against.
+func syntheticModels(t *testing.T) model.BcastModels {
+	t.Helper()
+	g, err := model.NewGamma(map[int]float64{2: 1, 3: 1.11, 4: 1.22, 5: 1.33, 6: 1.43, 7: 1.54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := model.BcastModels{
+		Cluster: "synthetic",
+		SegSize: 8192,
+		Gamma:   g,
+		Params:  make(map[coll.BcastAlgorithm]model.Hockney),
+	}
+	for _, alg := range coll.BcastAlgorithms() {
+		bm.Params[alg] = model.Hockney{Alpha: 45e-6, Beta: 1.6e-9}
+	}
+	return bm
+}
+
+func TestCompileMatchesDirectSelectionOnGrid(t *testing.T) {
+	bm := syntheticModels(t)
+	cfg := CompileConfig{MaxProcs: 96, MinBytes: 1024, MaxBytes: 8 << 20, Points: 25}
+	tab, err := Compile(bm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := selection.ModelBased{Models: bm}
+	resolved, _ := cfg.withDefaults()
+	for _, p := range resolved.ProcGrid {
+		for _, m := range []int{1024, 9000, 65536, 524288, 8 << 20} {
+			direct, err := sel.Select(p, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := tab.Lookup(p, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if compiled != direct.Alg.String() {
+				t.Errorf("P=%d m=%d: compiled %s, direct %v", p, m, compiled, direct.Alg)
+			}
+		}
+	}
+}
+
+func TestCompileIntervalsAreOrdered(t *testing.T) {
+	tab, err := Compile(syntheticModels(t), CompileConfig{MaxProcs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		if len(row.Rules) == 0 {
+			t.Fatalf("P=%d: no rules", row.Procs)
+		}
+		for i := 1; i < len(row.Rules); i++ {
+			if row.Rules[i].MaxBytes <= row.Rules[i-1].MaxBytes {
+				t.Fatalf("P=%d: rule bounds not increasing: %+v", row.Procs, row.Rules)
+			}
+			if row.Rules[i].Alg == row.Rules[i-1].Alg {
+				t.Fatalf("P=%d: adjacent rules not coalesced: %+v", row.Procs, row.Rules)
+			}
+		}
+	}
+	// Proc grid strictly increasing.
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i].Procs <= tab.Rows[i-1].Procs {
+			t.Fatal("proc grid not increasing")
+		}
+	}
+}
+
+func TestLookupEdges(t *testing.T) {
+	tab, err := Compile(syntheticModels(t), CompileConfig{ProcGrid: []int{4, 16, 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P beyond the grid clamps to the last row; m beyond clamps to the
+	// last rule; neither may error.
+	if _, err := tab.Lookup(1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Lookup(2, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if alg, err := tab.LookupAlgorithm(16, 65536); err != nil || alg.String() == "" {
+		t.Fatalf("typed lookup: %v %v", alg, err)
+	}
+	if _, err := (Table{}).Lookup(4, 4); err == nil {
+		t.Fatal("empty table should error")
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	bm := syntheticModels(t)
+	if _, err := Compile(bm, CompileConfig{}); err == nil {
+		t.Fatal("missing grid should fail")
+	}
+	if _, err := Compile(bm, CompileConfig{ProcGrid: []int{1}}); err == nil {
+		t.Fatal("grid point < 2 should fail")
+	}
+	empty := bm
+	empty.Params = nil
+	if _, err := Compile(empty, CompileConfig{MaxProcs: 8}); err == nil {
+		t.Fatal("empty params should fail")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tab, err := Compile(syntheticModels(t), CompileConfig{MaxProcs: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 7, 32, 90} {
+		for _, m := range []int{100, 8192, 1 << 20} {
+			a, _ := tab.Lookup(p, m)
+			b, _ := loaded.Lookup(p, m)
+			if a != b {
+				t.Fatalf("round trip diverged at (%d, %d): %s vs %s", p, m, a, b)
+			}
+		}
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestGoSource(t *testing.T) {
+	tab, err := Compile(syntheticModels(t), CompileConfig{ProcGrid: []int{8, 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tab.GoSource("selectBcast")
+	for _, want := range []string{
+		"func selectBcast(procs, msgBytes int) string",
+		"procs <= 8",
+		"default:",
+		"return",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("generated source missing %q:\n%s", want, src)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package estimate implements the paper's second contribution (§4): the
+// estimation of analytical-model parameters from communication experiments
+// that *contain the modelled collective algorithm itself*, instead of the
+// traditional point-to-point ping-pongs.
+//
+// Two estimators are provided:
+//
+//   - Gamma (§4.1) measures T2(P), the mean time of the non-blocking
+//     linear broadcast of one m_s-byte segment to P-1 children, for P from
+//     2 to the platform's maximum linear fanout, and forms
+//     γ(P) = T2(P)/T2(2). A linear regression over the table doubles as
+//     the extrapolation for larger fanouts.
+//
+//   - AlphaBeta (§4.2, Fig. 4) runs, for M message sizes, a communication
+//     experiment consisting of the modelled broadcast algorithm followed
+//     by a linear-without-synchronisation gather, measured on the root.
+//     With γ known, each experiment yields one linear equation
+//     a_i·α + b_i·β = T_i whose coefficients come from the
+//     implementation-derived model of the algorithm plus the gather model
+//     (Formula 8). The system is brought to the canonical form
+//     α + β·(b_i/a_i) = T_i/a_i and solved with the Huber regressor.
+package estimate
+
+import (
+	"fmt"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/model"
+	"mpicollperf/internal/stats"
+)
+
+// GammaResult is the outcome of the γ(P) estimation.
+type GammaResult struct {
+	Gamma model.Gamma
+	// T2 holds the measured mean linear-broadcast times per P.
+	T2 map[int]float64
+	// Measurements holds the full per-P measurement diagnostics.
+	Measurements map[int]experiment.Measurement
+}
+
+// Gamma estimates γ(P) for P = 2..pr.MaxLinearFanout on the profile,
+// broadcasting one segment of pr.SegmentSize bytes, following §4.1.
+func Gamma(pr cluster.Profile, set experiment.Settings) (GammaResult, error) {
+	maxP := pr.MaxLinearFanout
+	if maxP > pr.Nodes {
+		maxP = pr.Nodes
+	}
+	if maxP < 2 {
+		return GammaResult{}, fmt.Errorf("estimate: platform %s too small for γ estimation", pr.Name)
+	}
+	res := GammaResult{
+		T2:           make(map[int]float64, maxP-1),
+		Measurements: make(map[int]experiment.Measurement, maxP-1),
+	}
+	for p := 2; p <= maxP; p++ {
+		meas, err := experiment.MeasureLinearBcast(pr, p, pr.SegmentSize, set)
+		if err != nil {
+			return GammaResult{}, fmt.Errorf("estimate: γ at P=%d: %w", p, err)
+		}
+		res.T2[p] = meas.Mean
+		res.Measurements[p] = meas
+	}
+	base := res.T2[2]
+	if base <= 0 {
+		return GammaResult{}, fmt.Errorf("estimate: non-positive T2(2) = %v", base)
+	}
+	table := make(map[int]float64, maxP-1)
+	for p := 2; p <= maxP; p++ {
+		g := res.T2[p] / base
+		if g < 1 {
+			g = 1 // measurement noise can nudge tiny ratios below 1
+		}
+		table[p] = g
+	}
+	gamma, err := model.NewGamma(table)
+	if err != nil {
+		return GammaResult{}, err
+	}
+	res.Gamma = gamma
+	return res, nil
+}
+
+// AlphaBetaConfig parameterises the §4.2 experiments.
+type AlphaBetaConfig struct {
+	// Procs is the number of processes used in the experiments; the paper
+	// uses about half the cluster on Grisou (40) and the full cluster on
+	// Gros (124). Zero means half the platform (minimum 4).
+	Procs int
+	// Sizes are the broadcast message sizes; zero-length means the paper's
+	// grid of 10 log-spaced sizes from 8 KB to 4 MB.
+	Sizes []int
+	// GatherBytes is m_g, the per-rank gather contribution; it must differ
+	// from the segment size (the paper's m_g ≠ m_s) and should be small —
+	// the paper designs the experiment so that "the total time ... would
+	// be dominated by the time of [the algorithm's] execution", and a
+	// large m_g lets the gather model's imperfections bleed into the
+	// algorithm's fitted parameters. Zero means 256 bytes.
+	GatherBytes int
+	// Settings drive the adaptive measurements.
+	Settings experiment.Settings
+}
+
+func (c AlphaBetaConfig) withDefaults(pr cluster.Profile) (AlphaBetaConfig, error) {
+	if c.Procs == 0 {
+		c.Procs = pr.Nodes / 2
+		if c.Procs < 4 {
+			c.Procs = min(4, pr.Nodes)
+		}
+	}
+	if c.Procs < 2 || c.Procs > pr.Nodes {
+		return c, fmt.Errorf("estimate: %d procs outside 2..%d on %s", c.Procs, pr.Nodes, pr.Name)
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = stats.LogSpaceBytes(8192, 4<<20, 10)
+	}
+	if len(c.Sizes) < 2 {
+		return c, fmt.Errorf("estimate: need at least 2 message sizes")
+	}
+	if c.GatherBytes == 0 {
+		c.GatherBytes = 256
+	}
+	if c.GatherBytes < 0 {
+		return c, fmt.Errorf("estimate: negative gather size")
+	}
+	if c.GatherBytes == pr.SegmentSize {
+		return c, fmt.Errorf("estimate: m_g must differ from the segment size %d (paper §4.2)", pr.SegmentSize)
+	}
+	return c, nil
+}
+
+// Equation is one row of the Fig. 4 system, kept for inspection.
+type Equation struct {
+	MsgBytes    int
+	GatherBytes int
+	// A and B are the α and β coefficients of the full experiment
+	// (broadcast + gather).
+	A, B float64
+	// T is the measured experiment time.
+	T float64
+}
+
+// AlphaBetaResult carries the fitted parameters and the system they came
+// from.
+type AlphaBetaResult struct {
+	Params    model.Hockney
+	Equations []Equation
+	// Fit is the Huber regression over the canonical form.
+	Fit stats.LinearFit
+}
+
+// AlphaBeta estimates the algorithm-specific Hockney parameters for alg on
+// the profile, given the platform's γ.
+func AlphaBeta(pr cluster.Profile, alg coll.BcastAlgorithm, g model.Gamma, cfg AlphaBetaConfig) (AlphaBetaResult, error) {
+	cfg, err := cfg.withDefaults(pr)
+	if err != nil {
+		return AlphaBetaResult{}, err
+	}
+	res := AlphaBetaResult{Equations: make([]Equation, 0, len(cfg.Sizes))}
+	xs := make([]float64, 0, len(cfg.Sizes))
+	ys := make([]float64, 0, len(cfg.Sizes))
+	for _, m := range cfg.Sizes {
+		meas, err := experiment.MeasureBcastThenGather(pr, cfg.Procs, alg, m, pr.SegmentSize, cfg.GatherBytes, cfg.Settings)
+		if err != nil {
+			return AlphaBetaResult{}, fmt.Errorf("estimate: α/β for %v at m=%d: %w", alg, m, err)
+		}
+		ab, bb := model.Coefficients(alg, cfg.Procs, m, pr.SegmentSize, g)
+		ag, bg := model.GatherLinearCoefficients(cfg.Procs, cfg.GatherBytes)
+		eq := Equation{
+			MsgBytes:    m,
+			GatherBytes: cfg.GatherBytes,
+			A:           ab + ag,
+			B:           bb + bg,
+			T:           meas.Mean,
+		}
+		if eq.A <= 0 {
+			return AlphaBetaResult{}, fmt.Errorf("estimate: degenerate coefficient a=%v for %v at m=%d", eq.A, alg, m)
+		}
+		res.Equations = append(res.Equations, eq)
+		// Canonical form: α + β·(B/A) = T/A.
+		xs = append(xs, eq.B/eq.A)
+		ys = append(ys, eq.T/eq.A)
+	}
+	// Huber regression on relative residuals: the experiment times span
+	// three decades across the message grid, and relative weighting keeps
+	// the small-message equations (which pin down α) from being drowned by
+	// the large-message ones (which pin down β).
+	fit, err := stats.RelativeHuberRegression(xs, ys)
+	if err != nil {
+		return AlphaBetaResult{}, err
+	}
+	res.Fit = fit
+	res.Params = model.Hockney{Alpha: fit.Intercept, Beta: fit.Slope}
+	// Timing experiments cannot produce negative costs; clamp tiny
+	// negative intercepts that the regression may emit when α is far
+	// below the resolution of the experiments (the paper's fitted α are
+	// as small as 1e-13 s).
+	if res.Params.Alpha < 0 {
+		res.Params.Alpha = 0
+	}
+	if res.Params.Beta < 0 {
+		res.Params.Beta = 0
+	}
+	return res, nil
+}
+
+// Models runs the full §4 pipeline for a platform: γ estimation followed
+// by per-algorithm α/β estimation for every broadcast algorithm, producing
+// the BcastModels used by the run-time selector.
+func Models(pr cluster.Profile, cfg AlphaBetaConfig) (model.BcastModels, GammaResult, error) {
+	gr, err := Gamma(pr, cfg.Settings)
+	if err != nil {
+		return model.BcastModels{}, GammaResult{}, err
+	}
+	bm := model.BcastModels{
+		Cluster: pr.Name,
+		SegSize: pr.SegmentSize,
+		Gamma:   gr.Gamma,
+		Params:  make(map[coll.BcastAlgorithm]model.Hockney, len(coll.BcastAlgorithms())),
+	}
+	for _, alg := range coll.BcastAlgorithms() {
+		ab, err := AlphaBeta(pr, alg, gr.Gamma, cfg)
+		if err != nil {
+			return model.BcastModels{}, GammaResult{}, err
+		}
+		bm.Params[alg] = ab.Params
+	}
+	return bm, gr, nil
+}

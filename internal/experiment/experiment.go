@@ -1,0 +1,218 @@
+// Package experiment implements the measurement methodology of the paper's
+// §5.1, modelled on MPIBlib: a collective operation is executed repeatedly
+// inside a single MPI program, repetitions separated by barriers, until the
+// 95% Student-t confidence interval of the sample mean is within 2.5% of
+// the mean. Normality (Jarque-Bera) and independence (lag-1
+// autocorrelation) diagnostics are recorded alongside every measurement.
+//
+// Two timing modes are provided:
+//
+//   - RootTime measures the duration observed by the root between the
+//     start of the operation and its local completion. The paper's
+//     α/β-estimation experiments (§4.2) are designed to "start and finish
+//     on the root" (broadcast followed by a gather), so this mode measures
+//     them without any global clock.
+//   - Completion measures the time until every rank has finished, by
+//     closing each repetition with a barrier whose (deterministically
+//     calibrated) cost is subtracted. The γ(P) experiments (§4.1) and the
+//     algorithm-comparison curves use this mode; subtracting the barrier
+//     is a small refinement over the paper's T1(P,N)/N description that
+//     keeps barrier cost out of the γ estimate.
+package experiment
+
+import (
+	"fmt"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/mpi"
+	"mpicollperf/internal/simnet"
+	"mpicollperf/internal/stats"
+)
+
+// Mode selects what a repetition's sample measures.
+type Mode int
+
+const (
+	// RootTime samples the root's local duration of the operation.
+	RootTime Mode = iota
+	// Completion samples the barrier-compensated global completion time.
+	Completion
+)
+
+// Settings controls the adaptive repetition loop.
+type Settings struct {
+	// Confidence is the CI level (default 0.95).
+	Confidence float64
+	// Precision is the maximum CI half-width relative to the mean at which
+	// the sample is accepted (default 0.025, the paper's 2.5%).
+	Precision float64
+	// MinReps and MaxReps bound the number of measured repetitions
+	// (defaults 5 and 100).
+	MinReps, MaxReps int
+	// Warmup is the number of unmeasured leading repetitions (default 1).
+	Warmup int
+}
+
+// DefaultSettings returns the paper's methodology parameters.
+func DefaultSettings() Settings {
+	return Settings{Confidence: 0.95, Precision: 0.025, MinReps: 5, MaxReps: 100, Warmup: 1}
+}
+
+func (s Settings) withDefaults() Settings {
+	d := DefaultSettings()
+	if s.Confidence <= 0 || s.Confidence >= 1 {
+		s.Confidence = d.Confidence
+	}
+	if s.Precision <= 0 {
+		s.Precision = d.Precision
+	}
+	if s.MinReps < 2 {
+		s.MinReps = d.MinReps
+	}
+	if s.MaxReps < s.MinReps {
+		s.MaxReps = d.MaxReps
+		if s.MaxReps < s.MinReps {
+			s.MaxReps = s.MinReps
+		}
+	}
+	if s.Warmup < 0 {
+		// A zero-value Settings means "no warmup"; warmup is opt-in via
+		// DefaultSettings or an explicit value.
+		s.Warmup = 0
+	}
+	return s
+}
+
+// Measurement is the outcome of one adaptive measurement.
+type Measurement struct {
+	// Mean is the sample mean in virtual seconds.
+	Mean float64
+	// CI is the Student-t confidence interval of the mean.
+	CI stats.ConfidenceInterval
+	// Reps is the number of measured repetitions.
+	Reps int
+	// Converged reports whether the precision target was met within
+	// MaxReps.
+	Converged bool
+	// NormalityP is the Jarque-Bera p-value of the sample (small values
+	// reject normality).
+	NormalityP float64
+	// Lag1 is the lag-1 autocorrelation of the repetition sequence.
+	Lag1 float64
+	// Samples holds the raw repetition times.
+	Samples []float64
+}
+
+// Op is one invocation of the operation under measurement, executed by
+// every rank.
+type Op func(p *mpi.Proc)
+
+// Measure runs op repeatedly on nprocs ranks over net until the CI
+// criterion is met, and returns the measurement.
+//
+// The repetition loop runs inside a single simulated MPI program: the root
+// collects samples and decides whether to continue; the decision is shared
+// with the other ranks through a flag written by the root strictly before
+// a barrier that the others read strictly after (the runtime's scheduler
+// provides the necessary happens-before edges).
+func Measure(net *simnet.Network, nprocs int, set Settings, mode Mode, op Op) (Measurement, error) {
+	set = set.withDefaults()
+	var (
+		meas Measurement
+		stop bool
+	)
+	_, err := mpi.RunOn(net, nprocs, func(p *mpi.Proc) error {
+		root := p.Rank() == 0
+		// Calibrate the (deterministic) barrier cost.
+		p.Barrier()
+		t0 := p.Now()
+		p.Barrier()
+		barrierCost := p.Now() - t0
+
+		for rep := 0; ; rep++ {
+			p.Barrier() // open: align all ranks
+			start := p.Now()
+			op(p)
+			var sample float64
+			switch mode {
+			case Completion:
+				p.Barrier() // close: wait for global completion
+				sample = p.Now() - start - barrierCost
+			default:
+				sample = p.Now() - start
+			}
+			if root && rep >= set.Warmup {
+				meas.Samples = append(meas.Samples, sample)
+				n := len(meas.Samples)
+				if n >= set.MinReps {
+					ci, err := stats.MeanCI(meas.Samples, set.Confidence)
+					converged := err == nil && ci.RelativeError() <= set.Precision
+					if converged || n >= set.MaxReps {
+						meas.CI = ci
+						meas.Converged = converged
+						stop = true
+					}
+				}
+			}
+			p.Barrier() // decide: publish the root's stop flag
+			if stop {
+				return nil
+			}
+		}
+	}, mpi.Options{})
+	if err != nil {
+		return Measurement{}, err
+	}
+	meas.Mean = stats.Mean(meas.Samples)
+	meas.Reps = len(meas.Samples)
+	_, meas.NormalityP = stats.JarqueBera(meas.Samples)
+	meas.Lag1 = stats.Lag1Autocorrelation(meas.Samples)
+	return meas, nil
+}
+
+// MeasureBcast measures one broadcast configuration on a cluster profile:
+// algorithm alg broadcasting m bytes from rank 0 to nprocs ranks with the
+// given segment size, in Completion mode (the time until every rank holds
+// the message, which is what the paper's comparison figures plot).
+func MeasureBcast(pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize int, set Settings) (Measurement, error) {
+	net, err := pr.Network()
+	if err != nil {
+		return Measurement{}, err
+	}
+	if nprocs > pr.Nodes {
+		return Measurement{}, fmt.Errorf("experiment: %d procs exceed %s's %d nodes", nprocs, pr.Name, pr.Nodes)
+	}
+	return Measure(net, nprocs, set, Completion, func(p *mpi.Proc) {
+		coll.Bcast(p, alg, 0, coll.Synthetic(m), segSize)
+	})
+}
+
+// MeasureBcastThenGather measures the paper's §4.2 communication
+// experiment: the modelled broadcast of m bytes followed by a
+// linear-without-synchronisation gather of mg bytes per rank onto the
+// root, timed on the root (the experiment starts and finishes there).
+func MeasureBcastThenGather(pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize, mg int, set Settings) (Measurement, error) {
+	net, err := pr.Network()
+	if err != nil {
+		return Measurement{}, err
+	}
+	if nprocs > pr.Nodes {
+		return Measurement{}, fmt.Errorf("experiment: %d procs exceed %s's %d nodes", nprocs, pr.Name, pr.Nodes)
+	}
+	return Measure(net, nprocs, set, RootTime, func(p *mpi.Proc) {
+		coll.Bcast(p, alg, 0, coll.Synthetic(m), segSize)
+		if p.Rank() == 0 {
+			coll.Gather(p, coll.GatherLinearNoSync, 0, coll.Synthetic(mg*p.Size()), mg)
+		} else {
+			coll.Gather(p, coll.GatherLinearNoSync, 0, coll.Synthetic(mg), mg)
+		}
+	})
+}
+
+// MeasureLinearBcast measures the non-blocking linear broadcast of one
+// segment to nprocs ranks in Completion mode — the T2(P) of the paper's
+// γ(P) estimation procedure (§4.1).
+func MeasureLinearBcast(pr cluster.Profile, nprocs, segSize int, set Settings) (Measurement, error) {
+	return MeasureBcast(pr, nprocs, coll.BcastLinear, segSize, 0, set)
+}

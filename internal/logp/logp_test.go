@@ -1,0 +1,127 @@
+package logp
+
+import (
+	"math"
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/experiment"
+)
+
+func fastSettings() experiment.Settings {
+	return experiment.Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 30, Warmup: 1}
+}
+
+// quietGrisou removes the jitter so the micro-benchmarks can be checked
+// against the simulator's exact configuration.
+func quietGrisou(t *testing.T) cluster.Profile {
+	t.Helper()
+	pr, err := cluster.Grisou().WithNodes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Net.NoiseAmplitude = 0
+	return pr
+}
+
+func TestEstimateRecoversGroundTruth(t *testing.T) {
+	pr := quietGrisou(t)
+	par, err := Estimate(pr, fastSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pr.Net
+	// o_s is the runtime's send overhead exactly.
+	if math.Abs(par.Os-cfg.SendOverhead) > 0.2e-6 {
+		t.Errorf("o_s = %v, ground truth %v", par.Os, cfg.SendOverhead)
+	}
+	// GapPerByte is the sender port's per-byte time.
+	if math.Abs(par.GapPerByte-cfg.ByteTimeSend) > 0.1e-9 {
+		t.Errorf("G = %v, ground truth %v", par.GapPerByte, cfg.ByteTimeSend)
+	}
+	// The small-message gap is o_s + probe bytes on the port, roughly.
+	if par.G <= 0 || par.G > 10e-6 {
+		t.Errorf("g = %v out of plausible range", par.G)
+	}
+	// L reconstructs the configured latency to within the o_r ambiguity.
+	if par.L < cfg.Latency*0.5 || par.L > cfg.Latency*1.5 {
+		t.Errorf("L = %v, configured %v", par.L, cfg.Latency)
+	}
+	if par.Or < 0 {
+		t.Errorf("o_r = %v negative", par.Or)
+	}
+}
+
+func TestToHockney(t *testing.T) {
+	p := Params{L: 40e-6, Os: 2e-6, Or: 2e-6, GapPerByte: 0.8e-9}
+	alpha, beta := p.ToHockney()
+	if math.Abs(alpha-44e-6) > 1e-12 || math.Abs(beta-0.8e-9) > 1e-18 {
+		t.Fatalf("(α,β) = (%v,%v)", alpha, beta)
+	}
+}
+
+func TestEstimatePLogP(t *testing.T) {
+	pr := quietGrisou(t)
+	sizes := []int{64, 4096, 65536, 524288}
+	pl, err := EstimatePLogP(pr, sizes, fastSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Os) != len(sizes) || len(pl.Gap) != len(sizes) {
+		t.Fatalf("table sizes wrong: %d/%d", len(pl.Os), len(pl.Gap))
+	}
+	// The gap must grow with the message size (per-byte port occupancy);
+	// this is PLogP's whole reason to exist.
+	for i := 1; i < len(sizes); i++ {
+		if pl.Gap[i] <= pl.Gap[i-1] {
+			t.Errorf("gap(%d) = %v not above gap(%d) = %v",
+				sizes[i], pl.Gap[i], sizes[i-1], pl.Gap[i-1])
+		}
+	}
+	// g(64KB) should be roughly 64K·G.
+	want := 65536 * pr.Net.ByteTimeSend
+	if math.Abs(pl.GapAt(65536)-want) > 0.3*want {
+		t.Errorf("gap(64KB) = %v, want ≈ %v", pl.GapAt(65536), want)
+	}
+}
+
+func TestPLogPInterpolation(t *testing.T) {
+	pl := PLogP{
+		Sizes: []int{100, 200, 400},
+		Os:    []float64{1, 2, 4},
+		Gap:   []float64{10, 20, 40},
+	}
+	cases := []struct {
+		m    int
+		gap  float64
+		over float64
+	}{
+		{50, 10, 1},    // clamped low
+		{100, 10, 1},   // exact
+		{150, 15, 1.5}, // interpolated
+		{300, 30, 3},
+		{1000, 40, 4}, // clamped high
+	}
+	for _, c := range cases {
+		if got := pl.GapAt(c.m); math.Abs(got-c.gap) > 1e-12 {
+			t.Errorf("GapAt(%d) = %v, want %v", c.m, got, c.gap)
+		}
+		if got := pl.OsAt(c.m); math.Abs(got-c.over) > 1e-12 {
+			t.Errorf("OsAt(%d) = %v, want %v", c.m, got, c.over)
+		}
+	}
+	if (PLogP{}).GapAt(10) != 0 {
+		t.Error("empty table should yield 0")
+	}
+}
+
+func TestEstimatePLogPDefaultsGrid(t *testing.T) {
+	pr := quietGrisou(t)
+	pl, err := EstimatePLogP(pr, nil, fastSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Sizes) < 4 {
+		t.Fatalf("default grid too small: %v", pl.Sizes)
+	}
+}

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mpicollperf/internal/coll"
+)
+
+// This file extends the paper's implementation-derived modelling approach
+// to the other collectives implemented in package coll — the direction the
+// paper's conclusion names as future work. Every model follows the same
+// discipline as the broadcast models: read the implementation, decompose
+// into rounds, charge α per round on the critical path and β per byte that
+// crosses the bottleneck port, and return (a, b) with T = a·α + b·β so the
+// same estimation machinery (package estimate) fits per-algorithm
+// parameters.
+
+// AllgatherCoefficients models the allgather algorithms. m is the
+// per-rank block size.
+//
+//	ring:                P-1 rounds, one block each way per round:
+//	                     T = (P-1)·α + (P-1)·m·β.
+//	recursive_doubling:  log2 P rounds exchanging doubling ranges; total
+//	                     received bytes (P-1)·m:
+//	                     T = ceil(log2 P)·α + (P-1)·m·β.
+//	bruck:               same round/byte structure as recursive doubling
+//	                     for any P.
+//	gather_bcast:        binomial gather up (height hops, (P-1)·m bytes
+//	                     through the root) plus a binomial broadcast of
+//	                     the P·m result.
+func AllgatherCoefficients(alg coll.AllgatherAlgorithm, P, m, segSize int, g Gamma) (a, b float64) {
+	if P <= 1 || m < 0 {
+		return 0, 0
+	}
+	fm := float64(m)
+	switch alg {
+	case coll.AllgatherRing:
+		c := float64(P - 1)
+		return c, c * fm
+	case coll.AllgatherRecursiveDoubling:
+		if P&(P-1) != 0 {
+			// The implementation falls back to the ring.
+			return AllgatherCoefficients(coll.AllgatherRing, P, m, segSize, g)
+		}
+		rounds := float64(bits.Len(uint(P - 1)))
+		return rounds, float64(P-1) * fm
+	case coll.AllgatherBruck:
+		rounds := float64(bits.Len(uint(P - 1)))
+		return rounds, float64(P-1) * fm
+	case coll.AllgatherGatherBcast:
+		h := float64(bits.Len(uint(P)) - 1)
+		ga, gb := h, float64(P-1)*fm
+		ba, bb := Coefficients(coll.BcastBinomial, P, P*m, segSize, g)
+		return ga + ba, gb + bb
+	}
+	panic(fmt.Errorf("model: unknown allgather algorithm %v", alg))
+}
+
+// AllreduceCoefficients models the allreduce algorithms for an n-byte
+// vector.
+//
+//	reduce_bcast:        binomial reduce (height rounds, full vector per
+//	                     round on the critical path) plus binomial
+//	                     broadcast.
+//	recursive_doubling:  log2 P rounds of full-vector exchange:
+//	                     T = log2 P·(α + n·β); ring fallback shape for
+//	                     non-powers via reduce_bcast (as implemented).
+//	ring:                2(P-1) rounds of n/P-byte chunks:
+//	                     T = 2(P-1)·α + 2·n·β·(P-1)/P.
+func AllreduceCoefficients(alg coll.AllreduceAlgorithm, P, n, segSize int, g Gamma) (a, b float64) {
+	if P <= 1 || n < 0 {
+		return 0, 0
+	}
+	fn := float64(n)
+	switch alg {
+	case coll.AllreduceReduceBcast:
+		h := float64(bits.Len(uint(P)) - 1)
+		ra, rb := h, h*fn
+		ba, bb := Coefficients(coll.BcastBinomial, P, n, segSize, g)
+		return ra + ba, rb + bb
+	case coll.AllreduceRecursiveDoubling:
+		if P&(P-1) != 0 {
+			return AllreduceCoefficients(coll.AllreduceReduceBcast, P, n, segSize, g)
+		}
+		rounds := float64(bits.Len(uint(P - 1)))
+		return rounds, rounds * fn
+	case coll.AllreduceRing:
+		c := 2 * float64(P-1)
+		return c, 2 * fn * float64(P-1) / float64(P)
+	}
+	panic(fmt.Errorf("model: unknown allreduce algorithm %v", alg))
+}
+
+// AlltoallCoefficients models the all-to-all algorithms for per-pair block
+// size m.
+//
+//	linear:    all P-1 sends and receives posted at once; latency once,
+//	           (P-1)·m bytes serialise on each port:
+//	           T = α + (P-1)·m·β.
+//	pairwise:  P-1 synchronised exchange rounds:
+//	           T = (P-1)·α + (P-1)·m·β.
+//	bruck:     ceil(log2 P) rounds; round k ships every block whose slot
+//	           index has bit k set, so the total shipped volume is
+//	           Σ_k |slots_k| blocks (≈ (P/2)·log2 P):
+//	           T = ceil(log2 P)·α + Σ_k |slots_k|·m·β.
+func AlltoallCoefficients(alg coll.AlltoallAlgorithm, P, m int, g Gamma) (a, b float64) {
+	if P <= 1 || m < 0 {
+		return 0, 0
+	}
+	fm := float64(m)
+	switch alg {
+	case coll.AlltoallLinear:
+		return 1, float64(P-1) * fm
+	case coll.AlltoallPairwise:
+		c := float64(P - 1)
+		return c, c * fm
+	case coll.AlltoallBruck:
+		rounds := 0
+		shipped := 0
+		for dist := 1; dist < P; dist <<= 1 {
+			rounds++
+			for i := 1; i < P; i++ {
+				if i&dist != 0 {
+					shipped++
+				}
+			}
+		}
+		return float64(rounds), float64(shipped) * fm
+	}
+	panic(fmt.Errorf("model: unknown alltoall algorithm %v", alg))
+}

@@ -1,0 +1,134 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpicollperf/internal/coll"
+)
+
+func TestAllgatherCoefficientsHandComputed(t *testing.T) {
+	g := testGamma()
+	// Ring at P=8, m=1000: 7 rounds, 7000 bytes.
+	a, b := AllgatherCoefficients(coll.AllgatherRing, 8, 1000, 8192, g)
+	if a != 7 || b != 7000 {
+		t.Fatalf("ring (a,b) = (%v,%v)", a, b)
+	}
+	// Recursive doubling at P=8: 3 rounds, 7000 bytes.
+	a, b = AllgatherCoefficients(coll.AllgatherRecursiveDoubling, 8, 1000, 8192, g)
+	if a != 3 || b != 7000 {
+		t.Fatalf("recdbl (a,b) = (%v,%v)", a, b)
+	}
+	// Non-power-of-two falls back to the ring shape.
+	a, b = AllgatherCoefficients(coll.AllgatherRecursiveDoubling, 6, 1000, 8192, g)
+	ra, rb := AllgatherCoefficients(coll.AllgatherRing, 6, 1000, 8192, g)
+	if a != ra || b != rb {
+		t.Fatal("non-power-of-two recdbl should match ring")
+	}
+	// Bruck at P=6: ceil(log2 6)=3 rounds, 5000 bytes.
+	a, b = AllgatherCoefficients(coll.AllgatherBruck, 6, 1000, 8192, g)
+	if a != 3 || b != 5000 {
+		t.Fatalf("bruck (a,b) = (%v,%v)", a, b)
+	}
+	// gather_bcast includes the binomial broadcast of the whole buffer.
+	a, _ = AllgatherCoefficients(coll.AllgatherGatherBcast, 8, 1000, 8192, g)
+	ba, _ := Coefficients(coll.BcastBinomial, 8, 8000, 8192, g)
+	if a != 3+ba {
+		t.Fatalf("gather_bcast a = %v, want %v", a, 3+ba)
+	}
+}
+
+func TestAllreduceCoefficientsHandComputed(t *testing.T) {
+	g := testGamma()
+	// Recursive doubling at P=16, n=4096: 4 rounds of full vectors.
+	a, b := AllreduceCoefficients(coll.AllreduceRecursiveDoubling, 16, 4096, 8192, g)
+	if a != 4 || b != 4*4096 {
+		t.Fatalf("recdbl (a,b) = (%v,%v)", a, b)
+	}
+	// Ring at P=8, n=8000: 14 rounds, 2·8000·7/8 = 14000 bytes.
+	a, b = AllreduceCoefficients(coll.AllreduceRing, 8, 8000, 8192, g)
+	if a != 14 || math.Abs(b-14000) > 1e-9 {
+		t.Fatalf("ring (a,b) = (%v,%v)", a, b)
+	}
+	// Non-power recursive doubling falls back to reduce_bcast.
+	a, b = AllreduceCoefficients(coll.AllreduceRecursiveDoubling, 6, 4096, 8192, g)
+	fa, fb := AllreduceCoefficients(coll.AllreduceReduceBcast, 6, 4096, 8192, g)
+	if a != fa || b != fb {
+		t.Fatal("fallback mismatch")
+	}
+}
+
+func TestAlltoallCoefficientsHandComputed(t *testing.T) {
+	g := testGamma()
+	a, b := AlltoallCoefficients(coll.AlltoallLinear, 10, 500, g)
+	if a != 1 || b != 9*500 {
+		t.Fatalf("linear (a,b) = (%v,%v)", a, b)
+	}
+	a, b = AlltoallCoefficients(coll.AlltoallPairwise, 10, 500, g)
+	if a != 9 || b != 9*500 {
+		t.Fatalf("pairwise (a,b) = (%v,%v)", a, b)
+	}
+	// Bruck at P=4: rounds {1,2}; slots with bit0: {1,3}, bit1: {2,3} →
+	// 4 blocks shipped over 2 rounds.
+	a, b = AlltoallCoefficients(coll.AlltoallBruck, 4, 500, g)
+	if a != 2 || b != 4*500 {
+		t.Fatalf("bruck (a,b) = (%v,%v)", a, b)
+	}
+}
+
+// Property: all extended coefficients are non-negative (and, for the
+// unsegmented models whose coefficients are exactly linear in the size,
+// monotone in it — the segmented ones may dip slightly at segment-count
+// boundaries because the average segment size m/n_s shrinks there).
+func TestExtendedCoefficientsProperty(t *testing.T) {
+	g := testGamma()
+	f := func(pRaw uint8, mRaw uint16, kind uint8) bool {
+		P := int(pRaw%126) + 2
+		m := int(mRaw)
+		var a1, b1, a2, b2 float64
+		monotone := true
+		switch kind % 3 {
+		case 0:
+			alg := coll.AllgatherAlgorithm(int(kind/3) % 4)
+			monotone = alg != coll.AllgatherGatherBcast // contains a segmented bcast
+			a1, b1 = AllgatherCoefficients(alg, P, m, 8192, g)
+			a2, b2 = AllgatherCoefficients(alg, P, m+100, 8192, g)
+		case 1:
+			alg := coll.AllreduceAlgorithm(int(kind/3) % 3)
+			monotone = alg != coll.AllreduceReduceBcast &&
+				!(alg == coll.AllreduceRecursiveDoubling && P&(P-1) != 0)
+			a1, b1 = AllreduceCoefficients(alg, P, m, 8192, g)
+			a2, b2 = AllreduceCoefficients(alg, P, m+100, 8192, g)
+		default:
+			alg := coll.AlltoallAlgorithm(int(kind/3) % 3)
+			a1, b1 = AlltoallCoefficients(alg, P, m, g)
+			a2, b2 = AlltoallCoefficients(alg, P, m+100, g)
+		}
+		if a1 < 0 || b1 < 0 || a2 < 0 || b2 < 0 {
+			return false
+		}
+		if monotone && (b2 < b1 || a2 < a1-1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range coll.AllgatherAlgorithms() {
+		if a, b := AllgatherCoefficients(alg, 1, 100, 8192, g); a != 0 || b != 0 {
+			t.Errorf("%v: P=1 should be free", alg)
+		}
+	}
+	for _, alg := range coll.AllreduceAlgorithms() {
+		if a, b := AllreduceCoefficients(alg, 1, 100, 8192, g); a != 0 || b != 0 {
+			t.Errorf("%v: P=1 should be free", alg)
+		}
+	}
+	for _, alg := range coll.AlltoallAlgorithms() {
+		if a, b := AlltoallCoefficients(alg, 1, 100, g); a != 0 || b != 0 {
+			t.Errorf("%v: P=1 should be free", alg)
+		}
+	}
+}

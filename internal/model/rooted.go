@@ -1,0 +1,126 @@
+package model
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mpicollperf/internal/coll"
+)
+
+// Implementation-derived models for the rooted collectives (reduce,
+// gather, scatter) and reduce-scatter, same discipline as extended.go.
+
+// ReduceCoefficients models the reduce algorithms for an n-byte vector.
+//
+//	linear:    the root receives P-1 full vectors back to back (they
+//	           serialise on its inbound port): T = α + (P-1)·n·β.
+//	binomial:  height rounds; on the critical path each round receives one
+//	           full vector: T = H·(α + n·β).
+//	pipeline:  a chain of P-1 hops streaming n_s segments:
+//	           T = (P-1)·(α + m_s·β) + (n_s-1)·m_s·β (the broadcast chain's
+//	           mirror image).
+func ReduceCoefficients(alg coll.ReduceAlgorithm, P, n, segSize int, g Gamma) (a, b float64) {
+	if P <= 1 || n < 0 {
+		return 0, 0
+	}
+	fn := float64(n)
+	switch alg {
+	case coll.ReduceLinear:
+		return 1, float64(P-1) * fn
+	case coll.ReduceBinomial:
+		h := float64(bits.Len(uint(P)) - 1)
+		if h < 1 {
+			h = 1
+		}
+		return h, h * fn
+	case coll.ReducePipeline:
+		ns := float64(coll.NumSegments(n, segSize))
+		ms := fn / ns
+		d := float64(P - 1)
+		return d, d*ms + (ns-1)*ms
+	}
+	panic(fmt.Errorf("model: unknown reduce algorithm %v", alg))
+}
+
+// GatherCoefficients models the gather algorithms for per-rank blocks of
+// m bytes.
+//
+//	linear_nosync: one latency, P-1 blocks through the root's inbound
+//	               port: T = α + (P-1)·m·β (GatherLinearCoefficients).
+//	linear_sync:   the root polls each rank with a zero-byte token before
+//	               its block — a round trip per rank:
+//	               T = 2(P-1)·α + (P-1)·m·β.
+//	binomial:      height rounds; the root's port carries (P-1)·m in
+//	               halving chunks; the last and largest chunk is P/2·m:
+//	               T = H·α + (P-1)·m·β.
+func GatherCoefficients(alg coll.GatherAlgorithm, P, m int, g Gamma) (a, b float64) {
+	if P <= 1 || m < 0 {
+		return 0, 0
+	}
+	fm := float64(m)
+	switch alg {
+	case coll.GatherLinearNoSync:
+		return GatherLinearCoefficients(P, m)
+	case coll.GatherLinearSync:
+		c := float64(P - 1)
+		return 2 * c, c * fm
+	case coll.GatherBinomial:
+		h := float64(bits.Len(uint(P)) - 1)
+		if h < 1 {
+			h = 1
+		}
+		return h, float64(P-1) * fm
+	}
+	panic(fmt.Errorf("model: unknown gather algorithm %v", alg))
+}
+
+// ScatterCoefficients models the scatter algorithms (mirror images of the
+// gathers).
+func ScatterCoefficients(alg coll.ScatterAlgorithm, P, m int, g Gamma) (a, b float64) {
+	if P <= 1 || m < 0 {
+		return 0, 0
+	}
+	fm := float64(m)
+	switch alg {
+	case coll.ScatterLinear:
+		return 1, float64(P-1) * fm
+	case coll.ScatterBinomial:
+		h := float64(bits.Len(uint(P)) - 1)
+		if h < 1 {
+			h = 1
+		}
+		return h, float64(P-1) * fm
+	}
+	panic(fmt.Errorf("model: unknown scatter algorithm %v", alg))
+}
+
+// ReduceScatterCoefficients models the reduce-scatter algorithms for
+// per-rank blocks of m bytes (vectors of P·m).
+//
+//	ring:              P-1 combine steps plus the ownership hop, one block
+//	                   each way per step: T = P·α + P·m·β.
+//	recursive_halving: log2 P rounds, round k moving P·m/2^(k+1):
+//	                   T = log2 P·α + (P-1)·m·β.
+//	reduce_scatter:    binomial reduce of the P·m vector plus a binomial
+//	                   scatter.
+func ReduceScatterCoefficients(alg coll.ReduceScatterAlgorithm, P, m, segSize int, g Gamma) (a, b float64) {
+	if P <= 1 || m < 0 {
+		return 0, 0
+	}
+	fm := float64(m)
+	switch alg {
+	case coll.ReduceScatterRing:
+		return float64(P), float64(P) * fm
+	case coll.ReduceScatterHalving:
+		if P&(P-1) != 0 {
+			return ReduceScatterCoefficients(coll.ReduceScatterRing, P, m, segSize, g)
+		}
+		rounds := float64(bits.Len(uint(P - 1)))
+		return rounds, float64(P-1) * fm
+	case coll.ReduceScatterReduceThenScatter:
+		ra, rb := ReduceCoefficients(coll.ReduceBinomial, P, P*m, segSize, g)
+		sa, sb := ScatterCoefficients(coll.ScatterBinomial, P, m, g)
+		return ra + sa, rb + sb
+	}
+	panic(fmt.Errorf("model: unknown reduce-scatter algorithm %v", alg))
+}

@@ -1,0 +1,99 @@
+package model
+
+import (
+	"testing"
+
+	"mpicollperf/internal/coll"
+)
+
+func TestReduceCoefficientsHandComputed(t *testing.T) {
+	g := testGamma()
+	// Linear: one latency, P-1 vectors through the root.
+	a, b := ReduceCoefficients(coll.ReduceLinear, 9, 1000, 8192, g)
+	if a != 1 || b != 8000 {
+		t.Fatalf("linear (a,b) = (%v,%v)", a, b)
+	}
+	// Binomial at P=8: 3 rounds of full vectors.
+	a, b = ReduceCoefficients(coll.ReduceBinomial, 8, 1000, 8192, g)
+	if a != 3 || b != 3000 {
+		t.Fatalf("binomial (a,b) = (%v,%v)", a, b)
+	}
+	// Binomial at P=2 clamps the height to 1.
+	a, _ = ReduceCoefficients(coll.ReduceBinomial, 2, 1000, 8192, g)
+	if a != 1 {
+		t.Fatalf("P=2 binomial a = %v", a)
+	}
+	// Pipeline: (P-1) fill hops + (n_s-1) steady segments.
+	a, b = ReduceCoefficients(coll.ReducePipeline, 5, 4*8192, 8192, g)
+	if a != 4 || b != 4*8192+3*8192 {
+		t.Fatalf("pipeline (a,b) = (%v,%v)", a, b)
+	}
+	// Degenerate.
+	if a, b := ReduceCoefficients(coll.ReduceLinear, 1, 10, 8192, g); a != 0 || b != 0 {
+		t.Fatal("P=1 should be free")
+	}
+}
+
+func TestGatherCoefficientsHandComputed(t *testing.T) {
+	g := testGamma()
+	a, b := GatherCoefficients(coll.GatherLinearNoSync, 40, 4096, g)
+	if a != 1 || b != 39*4096 {
+		t.Fatalf("nosync (a,b) = (%v,%v)", a, b)
+	}
+	a, b = GatherCoefficients(coll.GatherLinearSync, 40, 4096, g)
+	if a != 78 || b != 39*4096 {
+		t.Fatalf("sync (a,b) = (%v,%v)", a, b)
+	}
+	a, b = GatherCoefficients(coll.GatherBinomial, 8, 4096, g)
+	if a != 3 || b != 7*4096 {
+		t.Fatalf("binomial (a,b) = (%v,%v)", a, b)
+	}
+	if a, b := GatherCoefficients(coll.GatherBinomial, 1, 10, g); a != 0 || b != 0 {
+		t.Fatal("P=1 should be free")
+	}
+}
+
+func TestScatterCoefficientsHandComputed(t *testing.T) {
+	g := testGamma()
+	a, b := ScatterCoefficients(coll.ScatterLinear, 10, 500, g)
+	if a != 1 || b != 9*500 {
+		t.Fatalf("linear (a,b) = (%v,%v)", a, b)
+	}
+	a, b = ScatterCoefficients(coll.ScatterBinomial, 16, 500, g)
+	if a != 4 || b != 15*500 {
+		t.Fatalf("binomial (a,b) = (%v,%v)", a, b)
+	}
+	if a, b := ScatterCoefficients(coll.ScatterLinear, 1, 10, g); a != 0 || b != 0 {
+		t.Fatal("P=1 should be free")
+	}
+}
+
+func TestReduceScatterCoefficientsHandComputed(t *testing.T) {
+	g := testGamma()
+	// Ring: P rounds (P-1 combines + ownership hop), P blocks moved.
+	a, b := ReduceScatterCoefficients(coll.ReduceScatterRing, 8, 1000, 8192, g)
+	if a != 8 || b != 8000 {
+		t.Fatalf("ring (a,b) = (%v,%v)", a, b)
+	}
+	// Halving at P=8: 3 rounds, 7 blocks.
+	a, b = ReduceScatterCoefficients(coll.ReduceScatterHalving, 8, 1000, 8192, g)
+	if a != 3 || b != 7000 {
+		t.Fatalf("halving (a,b) = (%v,%v)", a, b)
+	}
+	// Non-power halving falls back to the ring shape.
+	a, b = ReduceScatterCoefficients(coll.ReduceScatterHalving, 6, 1000, 8192, g)
+	ra, rb := ReduceScatterCoefficients(coll.ReduceScatterRing, 6, 1000, 8192, g)
+	if a != ra || b != rb {
+		t.Fatal("halving fallback mismatch")
+	}
+	// Composition includes the reduce and scatter pieces.
+	a, _ = ReduceScatterCoefficients(coll.ReduceScatterReduceThenScatter, 8, 1000, 8192, g)
+	r, _ := ReduceCoefficients(coll.ReduceBinomial, 8, 8000, 8192, g)
+	s, _ := ScatterCoefficients(coll.ScatterBinomial, 8, 1000, g)
+	if a != r+s {
+		t.Fatalf("composed a = %v, want %v", a, r+s)
+	}
+	if a, b := ReduceScatterCoefficients(coll.ReduceScatterRing, 1, 10, 8192, g); a != 0 || b != 0 {
+		t.Fatal("P=1 should be free")
+	}
+}

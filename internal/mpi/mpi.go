@@ -1,0 +1,681 @@
+// Package mpi provides a small message-passing runtime with MPI-like
+// semantics executed on the simnet virtual cluster. It is the substrate on
+// which the Open MPI collective algorithms of package coll run, and it
+// plays the role Open MPI 3.1 plays in the paper.
+//
+// Each rank is a goroutine executing user code against a *Proc handle.
+// Virtual time is managed by a single deterministic scheduler: a rank's
+// local clock advances only through communication operations, and the
+// scheduler always services the operation with the globally smallest
+// virtual timestamp (ties broken by rank), so a program's virtual timing is
+// bit-reproducible regardless of the Go scheduler, GOMAXPROCS, or wall
+// time.
+//
+// Supported operations mirror the subset of MPI the broadcast algorithms
+// need: blocking and non-blocking point-to-point sends and receives with
+// (source, tag) matching and the MPI non-overtaking guarantee, Wait /
+// WaitAll, a barrier, and virtual compute time (Sleep).
+//
+// Messages may carry real payload bytes — the collective tests verify that
+// every algorithm actually delivers the root's buffer — or may be synthetic
+// (nil payload with an explicit size) so that large performance sweeps do
+// not pay for memcpy.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mpicollperf/internal/simnet"
+)
+
+// ErrDeadlock is wrapped by the error Run returns when every live rank is
+// blocked and no progress is possible.
+var ErrDeadlock = errors.New("mpi: deadlock")
+
+// errAborted is panicked inside Proc methods when the run has been aborted
+// (by deadlock or by another rank's failure); the rank wrapper recovers it.
+var errAborted = errors.New("mpi: run aborted")
+
+// Result summarises a completed run.
+type Result struct {
+	// FinishTimes holds each rank's virtual time when its function returned.
+	FinishTimes []float64
+	// MakeSpan is the maximum finish time over all ranks.
+	MakeSpan float64
+	// Transfers is the number of network transfers simulated.
+	Transfers int64
+}
+
+// Request is the handle of a non-blocking operation. It is owned by the
+// rank that created it and must only be waited on by that rank.
+type Request struct {
+	owner    int
+	isRecv   bool
+	bound    bool    // completion time known
+	at       float64 // virtual completion time, valid when bound
+	bytes    int     // received message size, valid for receives when bound
+	consumed bool    // has been waited on
+}
+
+// Bytes returns the size of the received message. It is only meaningful
+// for receive requests after they have been waited on.
+func (r *Request) Bytes() int { return r.bytes }
+
+// Proc is a rank's handle to the runtime. All methods must be called from
+// the goroutine running that rank's function. Methods panic on misuse
+// (invalid peer, buffer truncation, waiting on a foreign request); Run
+// recovers such panics and reports them as errors.
+type Proc struct {
+	rank   int
+	size   int
+	sched  *scheduler
+	resume chan reply
+	clock  float64
+	seq    int64
+}
+
+// Rank returns this process's rank in 0..Size()-1.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the run.
+func (p *Proc) Size() int { return p.size }
+
+// Now returns the rank's current virtual time in seconds.
+func (p *Proc) Now() float64 { return p.clock }
+
+// Sleep advances the rank's virtual clock by d seconds of compute time.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		panic(fmt.Errorf("mpi: rank %d: negative sleep %v", p.rank, d))
+	}
+	p.submit(operation{kind: opSleep, dur: d})
+}
+
+// Isend posts a non-blocking send of data to rank dst with the given tag
+// and returns its request. If data is nil, size synthetic bytes are sent
+// without payload; otherwise the payload is copied out immediately
+// (buffered semantics) and size must equal len(data) or be negative
+// (meaning len(data)).
+func (p *Proc) Isend(dst, tag int, data []byte, size int) *Request {
+	if data != nil {
+		if size < 0 {
+			size = len(data)
+		} else if size != len(data) {
+			panic(fmt.Errorf("mpi: rank %d: Isend size %d != len(data) %d", p.rank, size, len(data)))
+		}
+	} else if size < 0 {
+		panic(fmt.Errorf("mpi: rank %d: Isend with nil data needs explicit size", p.rank))
+	}
+	p.checkPeer(dst, "Isend")
+	var payload []byte
+	if data != nil {
+		payload = make([]byte, len(data))
+		copy(payload, data)
+	}
+	req := &Request{owner: p.rank}
+	p.submit(operation{kind: opIsend, peer: dst, tag: tag, data: payload, bytes: size, req: req})
+	return req
+}
+
+// Irecv posts a non-blocking receive from rank src with the given tag. If
+// buf is non-nil the incoming payload is copied into it and the message
+// must fit; a nil buf accepts a message of any size without copying.
+func (p *Proc) Irecv(src, tag int, buf []byte) *Request {
+	p.checkPeer(src, "Irecv")
+	req := &Request{owner: p.rank, isRecv: true}
+	p.submit(operation{kind: opIrecv, peer: src, tag: tag, data: buf, req: req})
+	return req
+}
+
+// Wait blocks until the request completes, advancing the rank's clock to
+// the completion time.
+func (p *Proc) Wait(r *Request) { p.WaitAll(r) }
+
+// WaitAll blocks until every request completes, advancing the rank's clock
+// to the latest completion time. Requests may be waited on only once.
+func (p *Proc) WaitAll(rs ...*Request) {
+	for _, r := range rs {
+		if r == nil {
+			panic(fmt.Errorf("mpi: rank %d: wait on nil request", p.rank))
+		}
+		if r.owner != p.rank {
+			panic(fmt.Errorf("mpi: rank %d: wait on request owned by rank %d", p.rank, r.owner))
+		}
+		if r.consumed {
+			panic(fmt.Errorf("mpi: rank %d: request waited on twice", p.rank))
+		}
+	}
+	p.submit(operation{kind: opWait, reqs: rs})
+	for _, r := range rs {
+		r.consumed = true
+	}
+}
+
+// Send is a blocking send: it returns when the send buffer is reusable
+// (eager/buffered semantics, matching Open MPI's behaviour for the message
+// sizes the collective algorithms use).
+func (p *Proc) Send(dst, tag int, data []byte, size int) {
+	p.Wait(p.Isend(dst, tag, data, size))
+}
+
+// Recv is a blocking receive; it returns the received message size.
+func (p *Proc) Recv(src, tag int, buf []byte) int {
+	r := p.Irecv(src, tag, buf)
+	p.Wait(r)
+	return r.bytes
+}
+
+// Barrier blocks until every rank has entered the barrier; all ranks leave
+// at the same virtual time (the latest arrival plus the configured barrier
+// cost). The measurement harness uses it to separate repetitions, exactly
+// as the paper's γ(P) experiments do.
+func (p *Proc) Barrier() {
+	p.submit(operation{kind: opBarrier})
+}
+
+func (p *Proc) checkPeer(peer int, op string) {
+	if peer < 0 || peer >= p.size {
+		panic(fmt.Errorf("mpi: rank %d: %s peer %d outside 0..%d", p.rank, op, peer, p.size-1))
+	}
+	if peer == p.rank {
+		panic(fmt.Errorf("mpi: rank %d: %s to self", p.rank, op))
+	}
+}
+
+// submit hands an operation to the scheduler and blocks for the reply.
+func (p *Proc) submit(op operation) {
+	op.rank = p.rank
+	op.clock = p.clock
+	p.seq++
+	op.seq = p.seq
+	p.sched.ops <- op
+	rep := <-p.resume
+	if rep.abort {
+		panic(errAborted)
+	}
+	p.clock = rep.clock
+}
+
+type opKind int
+
+const (
+	opIsend opKind = iota
+	opIrecv
+	opWait
+	opBarrier
+	opSleep
+	opExit
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opIsend:
+		return "isend"
+	case opIrecv:
+		return "irecv"
+	case opWait:
+		return "wait"
+	case opBarrier:
+		return "barrier"
+	case opSleep:
+		return "sleep"
+	case opExit:
+		return "exit"
+	}
+	return "unknown"
+}
+
+type operation struct {
+	kind  opKind
+	rank  int
+	clock float64
+	seq   int64
+	// isend / irecv
+	peer  int
+	tag   int
+	data  []byte
+	bytes int
+	req   *Request
+	// wait
+	reqs []*Request
+	// sleep
+	dur float64
+	// exit
+	err error
+}
+
+type reply struct {
+	clock float64
+	abort bool
+}
+
+// Options tunes runtime behaviour.
+type Options struct {
+	// BarrierRounds overrides the number of latency rounds a barrier costs;
+	// zero means ceil(log2 P) (dissemination-style).
+	BarrierRounds int
+}
+
+// Run executes fn on nprocs ranks over a fresh network built from cfg and
+// returns the per-rank virtual finish times. nprocs must not exceed
+// cfg.Nodes. Any rank returning a non-nil error, panicking, or deadlocking
+// aborts the whole run.
+func Run(cfg simnet.Config, nprocs int, fn func(*Proc) error) (Result, error) {
+	net, err := simnet.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunOn(net, nprocs, fn, Options{})
+}
+
+// RunOn is Run on an existing network (which is Reset first), with options.
+func RunOn(net *simnet.Network, nprocs int, fn func(*Proc) error, opts Options) (Result, error) {
+	if nprocs < 1 {
+		return Result{}, fmt.Errorf("mpi: nprocs = %d, need >= 1", nprocs)
+	}
+	if nprocs > net.Nodes() {
+		return Result{}, fmt.Errorf("mpi: nprocs %d exceeds cluster size %d", nprocs, net.Nodes())
+	}
+	net.Reset()
+	s := newScheduler(net, nprocs, opts)
+	for r := 0; r < nprocs; r++ {
+		p := &Proc{rank: r, size: nprocs, sched: s, resume: s.resumes[r]}
+		go runRank(p, fn)
+	}
+	return s.loop()
+}
+
+// runRank wraps a rank function, converting panics (including runtime
+// aborts and API misuse) into an exit operation so the scheduler always
+// learns the rank's fate.
+func runRank(p *Proc, fn func(*Proc) error) {
+	var exitErr error
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, errAborted) {
+				exitErr = errAborted
+			} else if err, ok := r.(error); ok {
+				exitErr = err
+			} else {
+				exitErr = fmt.Errorf("mpi: rank %d panicked: %v", p.rank, r)
+			}
+		}
+		p.seq++
+		p.sched.ops <- operation{kind: opExit, rank: p.rank, clock: p.clock, seq: p.seq, err: exitErr}
+		// No reply for exit; the goroutine is done.
+	}()
+	exitErr = fn(p)
+}
+
+// scheduler is the deterministic coordinator. It owns all mutable state;
+// rank goroutines only touch it through the ops channel.
+type scheduler struct {
+	net     *simnet.Network
+	nprocs  int
+	opts    Options
+	ops     chan operation
+	resumes []chan reply
+
+	// running counts ranks currently executing user code (they will submit
+	// exactly one operation each before the scheduler may proceed).
+	running int
+	live    int
+
+	pending   []*operation // schedulable ops, one per rank at most
+	blocked   []*operation // waits whose requests are not all bound
+	inBarrier []*operation // ranks parked in the current barrier
+
+	// match holds per-destination message matching state.
+	match []*matchState
+
+	finish  []float64
+	failErr error
+	aborted bool
+}
+
+// matchState is the matching engine for one destination rank.
+type matchState struct {
+	// posted receives and unexpected messages, keyed by (src, tag), each
+	// FIFO — this provides the MPI non-overtaking guarantee.
+	posted     map[matchKey][]*operation
+	unexpected map[matchKey][]inFlight
+}
+
+type matchKey struct{ src, tag int }
+
+type inFlight struct {
+	data      []byte
+	bytes     int
+	delivered float64
+}
+
+func newScheduler(net *simnet.Network, nprocs int, opts Options) *scheduler {
+	s := &scheduler{
+		net:     net,
+		nprocs:  nprocs,
+		opts:    opts,
+		ops:     make(chan operation, nprocs),
+		resumes: make([]chan reply, nprocs),
+		running: nprocs,
+		live:    nprocs,
+		match:   make([]*matchState, nprocs),
+		finish:  make([]float64, nprocs),
+	}
+	for i := range s.resumes {
+		s.resumes[i] = make(chan reply, 1)
+		s.match[i] = &matchState{
+			posted:     make(map[matchKey][]*operation),
+			unexpected: make(map[matchKey][]inFlight),
+		}
+	}
+	return s
+}
+
+// loop runs the simulation to completion.
+func (s *scheduler) loop() (Result, error) {
+	for s.live > 0 {
+		// Lockstep: wait until every live, unparked rank has submitted its
+		// next operation, so min-clock selection sees the full frontier.
+		for s.running > 0 {
+			op := <-s.ops
+			s.running--
+			s.admit(op)
+		}
+		if s.live == 0 {
+			break
+		}
+		op := s.takeNext()
+		if op == nil {
+			s.abort(s.deadlockError())
+			continue
+		}
+		s.process(op)
+	}
+	if s.failErr != nil {
+		return Result{}, s.failErr
+	}
+	res := Result{FinishTimes: s.finish, Transfers: s.net.Transfers()}
+	for _, t := range s.finish {
+		res.MakeSpan = math.Max(res.MakeSpan, t)
+	}
+	return res, nil
+}
+
+// admit routes a freshly submitted operation to the right queue.
+func (s *scheduler) admit(op operation) {
+	o := &op
+	switch op.kind {
+	case opExit:
+		s.live--
+		s.finish[op.rank] = op.clock
+		if op.err != nil && !errors.Is(op.err, errAborted) && s.failErr == nil {
+			s.failErr = fmt.Errorf("rank %d: %w", op.rank, op.err)
+		}
+		if op.err != nil && !s.aborted {
+			s.abortLater()
+		}
+	case opBarrier:
+		if s.aborted {
+			s.release(o.rank, reply{abort: true})
+			return
+		}
+		if s.live < s.nprocs {
+			s.abort(fmt.Errorf("mpi: rank %d entered a barrier after another rank already exited", o.rank))
+			s.release(o.rank, reply{abort: true})
+			return
+		}
+		s.inBarrier = append(s.inBarrier, o)
+		s.maybeReleaseBarrier()
+	case opWait:
+		if s.aborted {
+			s.release(o.rank, reply{abort: true})
+			return
+		}
+		if allBound(o.reqs) {
+			s.pending = append(s.pending, o)
+		} else {
+			s.blocked = append(s.blocked, o)
+		}
+	default:
+		if s.aborted {
+			s.release(o.rank, reply{abort: true})
+			return
+		}
+		s.pending = append(s.pending, o)
+	}
+}
+
+func allBound(rs []*Request) bool {
+	for _, r := range rs {
+		if !r.bound {
+			return false
+		}
+	}
+	return true
+}
+
+// scheduleKey returns the virtual time at which processing op takes effect,
+// used for min-clock selection.
+func scheduleKey(op *operation) float64 {
+	if op.kind == opWait {
+		t := op.clock
+		for _, r := range op.reqs {
+			if r.at > t {
+				t = r.at
+			}
+		}
+		return t
+	}
+	return op.clock
+}
+
+// takeNext removes and returns the pending operation with the smallest
+// schedule key (ties: lowest rank, then submission order). It returns nil
+// when nothing is schedulable.
+func (s *scheduler) takeNext() *operation {
+	best := -1
+	for i, op := range s.pending {
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := s.pending[best]
+		ki, kb := scheduleKey(op), scheduleKey(b)
+		if ki < kb || (ki == kb && (op.rank < b.rank || (op.rank == b.rank && op.seq < b.seq))) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	op := s.pending[best]
+	s.pending = append(s.pending[:best], s.pending[best+1:]...)
+	return op
+}
+
+// process applies one operation's effects and resumes its rank.
+func (s *scheduler) process(op *operation) {
+	switch op.kind {
+	case opSleep:
+		s.release(op.rank, reply{clock: op.clock + op.dur})
+	case opWait:
+		s.release(op.rank, reply{clock: scheduleKey(op)})
+	case opIsend:
+		tr, err := s.net.Transmit(op.rank, op.peer, op.bytes, op.clock)
+		if err != nil {
+			s.abort(fmt.Errorf("rank %d: %w", op.rank, err))
+			s.release(op.rank, reply{abort: true})
+			return
+		}
+		op.req.bound = true
+		op.req.at = tr.SendComplete
+		s.deliver(op.rank, op.peer, op.tag, op.data, op.bytes, tr.Delivered)
+		if s.aborted {
+			s.release(op.rank, reply{abort: true})
+			return
+		}
+		s.release(op.rank, reply{clock: op.clock + s.net.Config().SendOverhead})
+	case opIrecv:
+		ms := s.match[op.rank]
+		key := matchKey{src: op.peer, tag: op.tag}
+		if q := ms.unexpected[key]; len(q) > 0 {
+			msg := q[0]
+			ms.unexpected[key] = q[1:]
+			if !s.bindRecv(op, msg) {
+				s.release(op.rank, reply{abort: true})
+				return
+			}
+		} else {
+			ms.posted[key] = append(ms.posted[key], op)
+		}
+		s.release(op.rank, reply{clock: op.clock})
+	default:
+		s.abort(fmt.Errorf("mpi: internal: unexpected op %v", op.kind))
+		s.release(op.rank, reply{abort: true})
+	}
+}
+
+// deliver matches an arriving message against the destination's posted
+// receives or stores it as unexpected.
+func (s *scheduler) deliver(src, dst, tag int, data []byte, bytes int, delivered float64) {
+	ms := s.match[dst]
+	key := matchKey{src: src, tag: tag}
+	if q := ms.posted[key]; len(q) > 0 {
+		recvOp := q[0]
+		ms.posted[key] = q[1:]
+		if !s.bindRecv(recvOp, inFlight{data: data, bytes: bytes, delivered: delivered}) {
+			return
+		}
+		s.wakeWaiters(recvOp.rank)
+		return
+	}
+	ms.unexpected[key] = append(ms.unexpected[key], inFlight{data: data, bytes: bytes, delivered: delivered})
+}
+
+// bindRecv completes a posted receive with a matched message. It reports
+// false if the run was aborted (truncation error).
+func (s *scheduler) bindRecv(recvOp *operation, msg inFlight) bool {
+	if recvOp.data != nil {
+		if msg.bytes > len(recvOp.data) {
+			s.failErr = fmt.Errorf("mpi: rank %d: message truncation: %d-byte message from %d (tag %d) into %d-byte buffer",
+				recvOp.rank, msg.bytes, recvOp.peer, recvOp.tag, len(recvOp.data))
+			s.abort(s.failErr)
+			return false
+		}
+		if msg.data != nil {
+			copy(recvOp.data, msg.data)
+		}
+	}
+	recvOp.req.bound = true
+	recvOp.req.at = math.Max(msg.delivered, recvOp.clock)
+	recvOp.req.bytes = msg.bytes
+	return true
+}
+
+// wakeWaiters promotes any blocked wait of the given rank whose requests
+// are now all bound.
+func (s *scheduler) wakeWaiters(rank int) {
+	for i := 0; i < len(s.blocked); i++ {
+		op := s.blocked[i]
+		if op.rank == rank && allBound(op.reqs) {
+			s.blocked = append(s.blocked[:i], s.blocked[i+1:]...)
+			s.pending = append(s.pending, op)
+			return // a rank has at most one in-flight operation
+		}
+	}
+}
+
+// maybeReleaseBarrier releases the barrier once every rank is in it.
+func (s *scheduler) maybeReleaseBarrier() {
+	if len(s.inBarrier) < s.nprocs {
+		return
+	}
+	t := 0.0
+	for _, op := range s.inBarrier {
+		t = math.Max(t, op.clock)
+	}
+	t += s.barrierCost()
+	for _, op := range s.inBarrier {
+		s.release(op.rank, reply{clock: t})
+	}
+	s.inBarrier = s.inBarrier[:0]
+}
+
+// barrierCost models a dissemination barrier: ceil(log2 P) rounds of a
+// zero-byte exchange.
+func (s *scheduler) barrierCost() float64 {
+	rounds := s.opts.BarrierRounds
+	if rounds <= 0 {
+		rounds = ceilLog2(s.nprocs)
+	}
+	cfg := s.net.Config()
+	return float64(rounds) * (cfg.SendOverhead + cfg.Latency + cfg.RecvOverhead)
+}
+
+func ceilLog2(n int) int {
+	r := 0
+	for v := 1; v < n; v <<= 1 {
+		r++
+	}
+	return r
+}
+
+// release resumes a rank's goroutine with the given reply.
+func (s *scheduler) release(rank int, rep reply) {
+	s.running++
+	s.resumes[rank] <- rep
+}
+
+// abortLater arranges for the run to unwind: every parked rank is released
+// with the abort flag, and all future operations are bounced.
+func (s *scheduler) abortLater() {
+	s.aborted = true
+	for _, op := range s.pending {
+		s.release(op.rank, reply{abort: true})
+	}
+	s.pending = s.pending[:0]
+	for _, op := range s.blocked {
+		s.release(op.rank, reply{abort: true})
+	}
+	s.blocked = s.blocked[:0]
+	for _, op := range s.inBarrier {
+		s.release(op.rank, reply{abort: true})
+	}
+	s.inBarrier = s.inBarrier[:0]
+}
+
+func (s *scheduler) abort(err error) {
+	if s.failErr == nil {
+		s.failErr = err
+	}
+	s.abortLater()
+}
+
+// deadlockError describes why no rank can make progress.
+func (s *scheduler) deadlockError() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d rank(s) blocked", s.live)
+	var states []string
+	for _, op := range s.blocked {
+		pend := 0
+		for _, r := range op.reqs {
+			if !r.bound {
+				pend++
+			}
+		}
+		states = append(states, fmt.Sprintf("rank %d waiting on %d unmatched request(s) at t=%.9f", op.rank, pend, op.clock))
+	}
+	for _, op := range s.inBarrier {
+		states = append(states, fmt.Sprintf("rank %d in barrier at t=%.9f", op.rank, op.clock))
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		b.WriteString("; ")
+		b.WriteString(st)
+	}
+	return fmt.Errorf("%w: %s", ErrDeadlock, b.String())
+}

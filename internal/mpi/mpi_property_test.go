@@ -1,0 +1,234 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomProgram builds a deterministic random communication schedule: a
+// list of (src, dst, tag, size) messages. Every rank sends its messages in
+// schedule order (non-blocking) and receives the ones addressed to it in
+// schedule order (also non-blocking), then waits for everything — a
+// pattern that is deadlock-free by construction for the lockstep runtime.
+type scheduledMsg struct {
+	src, dst, tag, size int
+}
+
+func randomSchedule(rng *rand.Rand, nprocs, n int) []scheduledMsg {
+	msgs := make([]scheduledMsg, n)
+	for i := range msgs {
+		src := rng.Intn(nprocs)
+		dst := rng.Intn(nprocs - 1)
+		if dst >= src {
+			dst++
+		}
+		msgs[i] = scheduledMsg{src: src, dst: dst, tag: rng.Intn(3), size: rng.Intn(5000)}
+	}
+	return msgs
+}
+
+func runSchedule(cfgSeed int64, nprocs int, msgs []scheduledMsg) (Result, error) {
+	cfg := testConfig(nprocs)
+	cfg.NoiseAmplitude = 0.05
+	cfg.NoiseSeed = cfgSeed
+	return Run(cfg, nprocs, func(p *Proc) error {
+		var reqs []*Request
+		for _, m := range msgs {
+			if m.src == p.Rank() {
+				reqs = append(reqs, p.Isend(m.dst, m.tag, nil, m.size))
+			}
+			if m.dst == p.Rank() {
+				reqs = append(reqs, p.Irecv(m.src, m.tag, nil))
+			}
+		}
+		p.WaitAll(reqs...)
+		return nil
+	})
+}
+
+// Property: any random matched schedule completes without deadlock and is
+// bit-deterministic across repeated executions.
+func TestRandomSchedulesCompleteAndDeterministic(t *testing.T) {
+	f := func(seed int64, npRaw, nRaw uint8) bool {
+		nprocs := int(npRaw%10) + 2
+		n := int(nRaw%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		msgs := randomSchedule(rng, nprocs, n)
+		r1, err1 := runSchedule(seed, nprocs, msgs)
+		r2, err2 := runSchedule(seed, nprocs, msgs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if r1.MakeSpan != r2.MakeSpan || r1.Transfers != r2.Transfers {
+			return false
+		}
+		return r1.Transfers == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: receives posted in a different order than the sends still
+// match correctly by (source, tag) FIFO.
+func TestOutOfOrderPostingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 12
+		sizes := make([]int, n)
+		tags := make([]int, n)
+		for i := range sizes {
+			sizes[i] = rng.Intn(2000) + 1
+			tags[i] = rng.Intn(2)
+		}
+		// Receiver posts its receives in shuffled order; matching must
+		// still pair the k-th send of (tag t) with the k-th receive of
+		// (tag t). We verify by size since payloads are synthetic.
+		perm := rng.Perm(n)
+		ok := true
+		_, err := Run(testConfig(2), 2, func(p *Proc) error {
+			if p.Rank() == 0 {
+				for i := 0; i < n; i++ {
+					p.Send(1, tags[i], nil, sizes[i])
+				}
+				return nil
+			}
+			reqs := make([]*Request, n)
+			order := make([]int, n) // order[i] = original index whose recv this is
+			nextOfTag := map[int][]int{}
+			for i := 0; i < n; i++ {
+				nextOfTag[tags[i]] = append(nextOfTag[tags[i]], i)
+			}
+			taken := map[int]int{}
+			for _, i := range perm {
+				tg := tags[i]
+				k := taken[tg]
+				taken[tg]++
+				order[i] = nextOfTag[tg][k]
+				reqs[i] = p.Irecv(0, tg, nil)
+			}
+			p.WaitAll(reqs...)
+			for _, i := range perm {
+				if reqs[i].Bytes() != sizes[order[i]] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoGoroutineLeaks(t *testing.T) {
+	// Run many programs, including failing ones, and check the goroutine
+	// count returns to baseline.
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 30; i++ {
+		_, _ = Run(testConfig(6), 6, func(p *Proc) error {
+			if p.Rank() == i%6 && i%3 == 0 {
+				return fmt.Errorf("induced failure %d", i)
+			}
+			p.Barrier()
+			if p.Rank() == 0 {
+				for d := 1; d < 6; d++ {
+					p.Send(d, 0, nil, 128)
+				}
+			} else {
+				p.Recv(0, 0, nil)
+			}
+			p.Barrier()
+			return nil
+		})
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d -> %d", base, runtime.NumGoroutine())
+}
+
+func TestManyUnexpectedMessages(t *testing.T) {
+	// A flood of eager messages buffered before any receive is posted.
+	const n = 500
+	_, err := Run(testConfig(2), 2, func(p *Proc) error {
+		if p.Rank() == 0 {
+			reqs := make([]*Request, n)
+			for i := range reqs {
+				reqs[i] = p.Isend(1, i%7, nil, 64)
+			}
+			p.WaitAll(reqs...)
+			return nil
+		}
+		p.Sleep(1) // let everything arrive unexpected
+		reqs := make([]*Request, n)
+		for i := range reqs {
+			reqs[i] = p.Irecv(0, i%7, nil)
+		}
+		p.WaitAll(reqs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedBarriersAndTraffic(t *testing.T) {
+	// Repeated barrier-separated phases with rotating communication
+	// topology; clock coherence must hold (monotone per rank).
+	const nprocs, phases = 8, 12
+	_, err := Run(testConfig(nprocs), nprocs, func(p *Proc) error {
+		last := 0.0
+		for ph := 0; ph < phases; ph++ {
+			to := (p.Rank() + ph + 1) % nprocs
+			from := (p.Rank() - ph - 1 + nprocs*phases) % nprocs
+			if to != p.Rank() && from != p.Rank() {
+				rs := p.Isend(to, ph, nil, 256*ph+1)
+				rr := p.Irecv(from, ph, nil)
+				p.WaitAll(rs, rr)
+			}
+			p.Barrier()
+			if p.Now() < last {
+				return fmt.Errorf("clock went backwards: %v -> %v", last, p.Now())
+			}
+			last = p.Now()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroByteTrafficSemantics(t *testing.T) {
+	// Zero-byte messages must still synchronise (deliver after latency).
+	cfg := testConfig(2)
+	var recvAt float64
+	_, err := Run(cfg, 2, func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(1, 0, nil, 0)
+		} else {
+			p.Recv(0, 0, nil)
+			recvAt = p.Now()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.SendOverhead + cfg.Latency + cfg.RecvOverhead
+	if recvAt != want {
+		t.Fatalf("zero-byte delivery at %v, want %v", recvAt, want)
+	}
+}

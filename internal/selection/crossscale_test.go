@@ -1,0 +1,77 @@
+package selection
+
+import (
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/estimate"
+)
+
+// TestCrossScaleSelection reproduces the paper's deployment scenario: the
+// parameters are estimated once on roughly half the cluster (the paper
+// uses 40 of Grisou's 90 processes) and the selector must then be accurate
+// at *other* process counts — that is what distinguishes a model from a
+// lookup table.
+func TestCrossScaleSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-scale pipeline is expensive")
+	}
+	pr, err := cluster.Grisou().WithNodes(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, _, err := estimate.Models(pr, estimate.AlphaBetaConfig{
+		Procs:    20, // estimation at half the platform
+		Sizes:    []int{8192, 65536, 524288, 2 << 20},
+		Settings: fastSettings(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := ModelBased{Models: bm}
+	// Selection evaluated at the full platform (2x the estimation size).
+	for _, m := range []int{16384, 131072, 1 << 20, 4 << 20} {
+		cmp, err := Compare(pr, sel, 40, m, fastSettings())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.ModelDegradation > 25 {
+			t.Errorf("m=%d: cross-scale pick %v degrades %.0f%% vs best %v",
+				m, cmp.ModelChoice.Alg, cmp.ModelDegradation, cmp.Oracle.Best)
+		}
+	}
+}
+
+// TestSelectionStableUnderRecalibration: two independent calibrations of
+// the same platform must produce the same selections (the noise stream is
+// seeded, so this is exact here; on a real cluster it would hold up to
+// measurement noise).
+func TestSelectionStableUnderRecalibration(t *testing.T) {
+	pr, err := cluster.Gros().WithNodes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := estimate.AlphaBetaConfig{
+		Procs:    8,
+		Sizes:    []int{8192, 131072, 1 << 20},
+		Settings: fastSettings(),
+	}
+	a, _, err := estimate.Models(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := estimate.Models(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selA, selB := ModelBased{Models: a}, ModelBased{Models: b}
+	for p := 2; p <= 16; p += 2 {
+		for _, m := range []int{4096, 65536, 2 << 20} {
+			ca, err1 := selA.Select(p, m)
+			cb, err2 := selB.Select(p, m)
+			if err1 != nil || err2 != nil || ca != cb {
+				t.Fatalf("P=%d m=%d: %v/%v vs %v/%v", p, m, ca, err1, cb, err2)
+			}
+		}
+	}
+}

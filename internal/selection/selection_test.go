@@ -1,0 +1,212 @@
+package selection
+
+import (
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/estimate"
+	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/model"
+)
+
+func fastSettings() experiment.Settings {
+	return experiment.Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 30, Warmup: 1}
+}
+
+func TestOpenMPIFixedDecisionRegions(t *testing.T) {
+	cases := []struct {
+		p, m    int
+		wantAlg coll.BcastAlgorithm
+		wantSeg int
+	}{
+		// Small messages: binomial without segmentation.
+		{90, 0, coll.BcastBinomial, 0},
+		{90, 1024, coll.BcastBinomial, 0},
+		{4, 2047, coll.BcastBinomial, 0},
+		// Intermediate: split-binary with 1 KB segments.
+		{90, 2048, coll.BcastSplitBinary, 1024},
+		{90, 8192, coll.BcastSplitBinary, 1024},
+		{90, 262144, coll.BcastSplitBinary, 1024},
+		{124, 370727, coll.BcastSplitBinary, 1024},
+		// Large: the paper's Table 3 shows chain (pipeline) selected for
+		// m >= 512 KB on both clusters.
+		{90, 524288, coll.BcastChain, 8192},
+		{90, 1 << 20, coll.BcastChain, 8192},
+		{90, 4 << 20, coll.BcastChain, 8192},
+		{100, 524288, coll.BcastChain, 8192},
+		{100, 4 << 20, coll.BcastChain, 8192},
+		// Very large messages on small communicators: pipeline with huge
+		// segments (P < a_p128·m + b_p128).
+		{8, 64 << 20, coll.BcastChain, 131072},
+		// Small communicator, large-but-not-huge message: split-binary 8KB.
+		{8, 524288, coll.BcastSplitBinary, 8192},
+	}
+	for _, c := range cases {
+		got := OpenMPIFixed(c.p, c.m)
+		if got.Alg != c.wantAlg || got.SegSize != c.wantSeg {
+			t.Errorf("OpenMPIFixed(P=%d, m=%d) = %v, want %v/%d",
+				c.p, c.m, got, c.wantAlg, c.wantSeg)
+		}
+	}
+}
+
+func TestOpenMPIFixedMatchesPaperTable3Selections(t *testing.T) {
+	// Paper Table 3: on both clusters Open MPI picks split_binary for
+	// 8 KB..256 KB and chain for 512 KB..4 MB.
+	for _, p := range []int{90, 100} {
+		for m := 8192; m <= 262144; m *= 2 {
+			if got := OpenMPIFixed(p, m); got.Alg != coll.BcastSplitBinary {
+				t.Errorf("P=%d m=%d: got %v, paper says split_binary", p, m, got)
+			}
+		}
+		for m := 524288; m <= 4<<20; m *= 2 {
+			if got := OpenMPIFixed(p, m); got.Alg != coll.BcastChain {
+				t.Errorf("P=%d m=%d: got %v, paper says chain", p, m, got)
+			}
+		}
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	c := Choice{Alg: coll.BcastChain, SegSize: 8192}
+	if c.String() != "chain/8KB" {
+		t.Fatalf("String = %q", c.String())
+	}
+	u := Choice{Alg: coll.BcastBinomial}
+	if u.String() != "binomial" {
+		t.Fatalf("String = %q", u.String())
+	}
+}
+
+func TestDegradation(t *testing.T) {
+	if Degradation(1.5, 1.0) != 50 {
+		t.Fatal("50% degradation expected")
+	}
+	if Degradation(1.0, 1.0) != 0 {
+		t.Fatal("0% expected")
+	}
+	if Degradation(1.0, 0) != 0 {
+		t.Fatal("degenerate best handled")
+	}
+}
+
+func TestModelBasedSelectValidation(t *testing.T) {
+	empty := ModelBased{Models: model.BcastModels{Cluster: "x", SegSize: 8192}}
+	if _, err := empty.Select(10, 8192); err == nil {
+		t.Fatal("no models should error")
+	}
+}
+
+func TestModelBasedPicksObviousWinners(t *testing.T) {
+	// Hand-crafted parameters where every algorithm has identical α/β:
+	// the structural coefficients alone decide, so for one segment at
+	// large P the selector must avoid chain and linear; for very large
+	// messages it must avoid linear.
+	g, err := model.NewGamma(map[int]float64{2: 1, 3: 1.1, 4: 1.2, 5: 1.3, 6: 1.4, 7: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := model.Hockney{Alpha: 45e-6, Beta: 1.6e-9}
+	bm := model.BcastModels{
+		Cluster: "synthetic",
+		SegSize: 8192,
+		Gamma:   g,
+		Params:  make(map[coll.BcastAlgorithm]model.Hockney),
+	}
+	for _, alg := range coll.BcastAlgorithms() {
+		bm.Params[alg] = par
+	}
+	sel := ModelBased{Models: bm}
+
+	small, err := sel.Select(90, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Alg == coll.BcastChain || small.Alg == coll.BcastLinear || small.Alg == coll.BcastKChain {
+		t.Fatalf("one segment at P=90: selected %v, want a log-depth tree", small.Alg)
+	}
+	big, err := sel.Select(90, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Alg == coll.BcastLinear {
+		t.Fatal("4MB at P=90: linear must never win")
+	}
+	if len(sel.PredictAll(90, 8192)) != len(coll.BcastAlgorithms()) {
+		t.Fatal("PredictAll should cover all algorithms")
+	}
+}
+
+func TestOracleRanksAlgorithms(t *testing.T) {
+	pr, err := cluster.Grisou().WithNodes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Oracle(pr, 16, 65536, fastSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != len(coll.BcastAlgorithms()) {
+		t.Fatalf("oracle measured %d algorithms", len(res.Times))
+	}
+	ranked := res.Ranked()
+	if ranked[0] != res.Best {
+		t.Fatal("ranking head disagrees with Best")
+	}
+	for i := 1; i < len(ranked); i++ {
+		if res.Times[ranked[i]] < res.Times[ranked[i-1]] {
+			t.Fatal("ranking not sorted")
+		}
+	}
+	if res.BestTime() <= 0 {
+		t.Fatal("non-positive best time")
+	}
+}
+
+// TestEndToEndSelectionAccuracy is the package's core scientific check —
+// the miniature version of the paper's Table 3 result: after the full §4
+// estimation pipeline, the model-based selection's measured time must be
+// close to the empirical best, and on average better than Open MPI's
+// fixed decision function.
+func TestEndToEndSelectionAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("estimation pipeline is expensive")
+	}
+	pr, err := cluster.Grisou().WithNodes(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := estimate.AlphaBetaConfig{
+		Procs:    16,
+		Sizes:    []int{8192, 32768, 131072, 524288, 2 << 20},
+		Settings: fastSettings(),
+	}
+	bm, _, err := estimate.Models(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := ModelBased{Models: bm}
+
+	var modelTotal, ompiTotal, bestTotal float64
+	for _, m := range []int{8192, 65536, 524288, 2 << 20} {
+		cmp, err := Compare(pr, sel, 32, m, fastSettings())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.ModelDegradation > 60 {
+			t.Errorf("m=%d: model-based pick %v degrades %.0f%% vs best %v",
+				m, cmp.ModelChoice.Alg, cmp.ModelDegradation, cmp.Oracle.Best)
+		}
+		modelTotal += cmp.ModelTime
+		ompiTotal += cmp.OMPITime
+		bestTotal += cmp.Oracle.BestTime()
+	}
+	if modelTotal > ompiTotal {
+		t.Errorf("model-based selection (%v total) should beat Open MPI's fixed decision (%v total)",
+			modelTotal, ompiTotal)
+	}
+	if modelTotal > 1.5*bestTotal {
+		t.Errorf("model-based selection (%v) strays too far from the oracle (%v)", modelTotal, bestTotal)
+	}
+}

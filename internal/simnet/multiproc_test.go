@@ -1,0 +1,104 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func dualConfig() Config {
+	cfg := testConfig()
+	cfg.ProcsPerNode = 2
+	cfg.IntraNodeLatency = 1e-6
+	cfg.IntraNodeByteTime = 0.05e-9
+	return cfg
+}
+
+func TestDualSocketValidation(t *testing.T) {
+	good := dualConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.IntraNodeLatency = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ProcsPerNode > 1 without intra-node latency should fail")
+	}
+	bad = good
+	bad.IntraNodeByteTime = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative intra-node byte time should fail")
+	}
+}
+
+func TestIntraNodeTransferBypassesNIC(t *testing.T) {
+	cfg := dualConfig()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Procs 0 and 1 share node 0.
+	const m = 1 << 20
+	intra, err := n.Transmit(0, 1, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIntra := cfg.SendOverhead + float64(m)*cfg.IntraNodeByteTime +
+		cfg.IntraNodeLatency + cfg.RecvOverhead
+	if math.Abs(intra.Delivered-wantIntra) > 1e-15 {
+		t.Fatalf("intra delivery %v, want %v", intra.Delivered, wantIntra)
+	}
+	// The NIC send port is untouched: a subsequent inter-node transfer
+	// starts immediately.
+	inter, err := n.Transmit(0, 2, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.StartTx != cfg.SendOverhead {
+		t.Fatalf("NIC port blocked by intra-node traffic: %v", inter.StartTx)
+	}
+	if inter.Delivered <= intra.Delivered {
+		t.Fatal("inter-node transfer should be slower than shared memory")
+	}
+}
+
+func TestCoLocatedProcessesShareNIC(t *testing.T) {
+	cfg := dualConfig()
+	n, _ := New(cfg)
+	const m = 1 << 16
+	// Procs 0 and 1 (node 0) send to different remote nodes at once:
+	// their transfers serialise on the shared NIC send port.
+	a, _ := n.Transmit(0, 2, m, 0)
+	b, _ := n.Transmit(1, 4, m, 0)
+	if b.StartTx < a.SendComplete {
+		t.Fatalf("co-located senders did not serialise: %v < %v", b.StartTx, a.SendComplete)
+	}
+	// With one process per node the same pattern is fully parallel.
+	single, _ := New(testConfig())
+	a2, _ := single.Transmit(0, 2, m, 0)
+	b2, _ := single.Transmit(1, 4, m, 0)
+	if b2.StartTx != a2.StartTx {
+		t.Fatal("independent nodes should start together")
+	}
+}
+
+func TestDualSocketIncastSharesRecvPort(t *testing.T) {
+	cfg := dualConfig()
+	n, _ := New(cfg)
+	const m = 1 << 16
+	// Two remote senders target procs 0 and 1 (same node): the second
+	// delivery waits for the shared receive port.
+	a, _ := n.Transmit(2, 0, m, 0)
+	b, _ := n.Transmit(4, 1, m, 0)
+	gap := b.Delivered - a.Delivered
+	want := float64(m) * cfg.ByteTimeRecv
+	if math.Abs(gap-want) > 1e-12 {
+		t.Fatalf("recv-port sharing gap %v, want %v", gap, want)
+	}
+}
+
+func TestSelfTransferStillRejected(t *testing.T) {
+	n, _ := New(dualConfig())
+	if _, err := n.Transmit(3, 3, 10, 0); err == nil {
+		t.Fatal("self transfer must stay invalid even with co-location")
+	}
+}

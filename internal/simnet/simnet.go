@@ -1,0 +1,239 @@
+// Package simnet implements a deterministic discrete-event model of a
+// switched, homogeneous compute cluster. It is the hardware substrate of
+// the reproduction: the paper measures Open MPI broadcast algorithms on the
+// Grid'5000 Grisou and Gros clusters, and this package plays the role of
+// those clusters.
+//
+// The model is deliberately first-order but captures exactly the phenomena
+// the paper's implementation-derived models exploit:
+//
+//   - each node has one NIC send port and one NIC receive port, and every
+//     port serialises the transfers that cross it (a transfer of m bytes
+//     occupies a port for m·G seconds). Serialisation at the sender port is
+//     what makes a non-blocking linear broadcast to P-1 children slower
+//     than a single point-to-point transfer — the paper's γ(P) parameter;
+//   - send and receive ports are independent, so an interior node of a
+//     chain or tree can receive segment i+1 while forwarding segment i —
+//     the pipelining that makes segmented algorithms win for large
+//     messages;
+//   - a fixed wire latency L and per-byte time G give the α/β structure of
+//     the Hockney model that all the analytical formulas are built on.
+//
+// Timing of one transfer of m bytes from s to d issued at sender time t:
+//
+//	startTx   = max(t + SendOverhead, sendPortFree[s])
+//	txTime    = m·ByteTimeSend·(1+ε)         (ε optional seeded noise)
+//	arrival   = startTx + txTime + Latency
+//	startRx   = max(arrival, recvPortFree[d])
+//	delivered = startRx + m·ByteTimeRecv + RecvOverhead
+//
+// The caller (the mpi runtime) must initiate transfers in non-decreasing
+// virtual-time order; under that contract, and with homogeneous latency,
+// the greedy port bookkeeping above is globally consistent.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config describes a homogeneous cluster.
+type Config struct {
+	// Nodes is the number of compute nodes (one process per node in all of
+	// the paper's experiments).
+	Nodes int
+	// Latency is the end-to-end wire latency L in seconds.
+	Latency float64
+	// ByteTimeSend is the per-byte occupancy G of a sender NIC port, in
+	// seconds per byte (the reciprocal of the injection bandwidth).
+	ByteTimeSend float64
+	// ByteTimeRecv is the per-byte occupancy of a receiver NIC port, in
+	// seconds per byte (the reciprocal of the drain bandwidth).
+	ByteTimeRecv float64
+	// SendOverhead is the CPU time o_s a process spends initiating a send.
+	SendOverhead float64
+	// RecvOverhead is the CPU time o_r a process spends completing a receive.
+	RecvOverhead float64
+	// NoiseAmplitude, if positive, multiplies every transmission time by
+	// (1+ε) with ε drawn uniformly from [0, NoiseAmplitude] using NoiseSeed.
+	// This models OS and switch jitter and is what makes repeated
+	// measurements vary, exercising the paper's statistical methodology.
+	NoiseAmplitude float64
+	// NoiseSeed seeds the jitter generator. Two networks with identical
+	// configs produce identical event histories.
+	NoiseSeed int64
+	// ProcsPerNode co-locates that many consecutive process endpoints on
+	// one physical node sharing a NIC (the paper's Grisou runs one process
+	// per CPU, two CPUs per node). Zero or one means one process per
+	// node. Transfers between co-located processes bypass the NIC and use
+	// the intra-node parameters below; shared-memory bandwidth contention
+	// is not modelled.
+	ProcsPerNode int
+	// IntraNodeLatency and IntraNodeByteTime parameterise transfers
+	// between processes on the same node; both must be set (positive
+	// latency) when ProcsPerNode > 1.
+	IntraNodeLatency  float64
+	IntraNodeByteTime float64
+}
+
+// procsPerNode returns the effective co-location factor.
+func (c Config) procsPerNode() int {
+	if c.ProcsPerNode < 1 {
+		return 1
+	}
+	return c.ProcsPerNode
+}
+
+// nic returns the physical node (NIC index) of a process endpoint.
+func (c Config) nic(proc int) int { return proc / c.procsPerNode() }
+
+// Validate reports whether the configuration is physically meaningful.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("simnet: Nodes = %d, need >= 1", c.Nodes)
+	case c.Latency < 0, c.ByteTimeSend < 0, c.ByteTimeRecv < 0:
+		return fmt.Errorf("simnet: negative link parameters")
+	case c.SendOverhead < 0, c.RecvOverhead < 0:
+		return fmt.Errorf("simnet: negative overheads")
+	case c.NoiseAmplitude < 0:
+		return fmt.Errorf("simnet: negative noise amplitude")
+	}
+	if c.ProcsPerNode > 1 {
+		if c.IntraNodeLatency <= 0 || c.IntraNodeByteTime < 0 {
+			return fmt.Errorf("simnet: ProcsPerNode %d needs positive IntraNodeLatency and non-negative IntraNodeByteTime", c.ProcsPerNode)
+		}
+	}
+	return nil
+}
+
+// Transfer records the complete timing of one message transmission.
+type Transfer struct {
+	Src, Dst int
+	Bytes    int
+	// Issued is the sender-side virtual time the transfer was initiated.
+	Issued float64
+	// StartTx is when the first byte enters the sender port.
+	StartTx float64
+	// SendComplete is when the last byte has left the sender port; a
+	// non-blocking send's buffer is reusable from this moment.
+	SendComplete float64
+	// Arrival is when the last byte reaches the receiver port.
+	Arrival float64
+	// Delivered is when the message is fully available to the receiving
+	// process (after receive-port drain and CPU overhead).
+	Delivered float64
+}
+
+// Network is the live simulator state: per-node port bookkeeping plus the
+// jitter stream. It is not safe for concurrent use; the mpi scheduler is
+// single-threaded by design.
+type Network struct {
+	cfg      Config
+	sendFree []float64
+	recvFree []float64
+	rng      *rand.Rand
+	nTx      int64
+	trace    func(Transfer)
+}
+
+// New builds a network from cfg.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:      cfg,
+		sendFree: make([]float64, cfg.Nodes),
+		recvFree: make([]float64, cfg.Nodes),
+	}
+	if cfg.NoiseAmplitude > 0 {
+		n.rng = rand.New(rand.NewSource(cfg.NoiseSeed))
+	}
+	return n, nil
+}
+
+// Config returns the configuration the network was built with.
+func (n *Network) Config() Config { return n.cfg }
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// Transfers returns the number of transfers simulated so far.
+func (n *Network) Transfers() int64 { return n.nTx }
+
+// SetTrace installs a hook invoked for every completed Transmit call.
+// Pass nil to disable tracing.
+func (n *Network) SetTrace(fn func(Transfer)) { n.trace = fn }
+
+// Transmit simulates moving bytes from src to dst, with the send initiated
+// at sender virtual time now. It updates the port bookkeeping and returns
+// the full timing. src and dst must be distinct valid nodes.
+//
+// Callers must invoke Transmit in non-decreasing order of now across the
+// whole network (the mpi scheduler guarantees this).
+func (n *Network) Transmit(src, dst, bytes int, now float64) (Transfer, error) {
+	if src < 0 || src >= n.cfg.Nodes || dst < 0 || dst >= n.cfg.Nodes {
+		return Transfer{}, fmt.Errorf("simnet: transfer %d->%d outside 0..%d", src, dst, n.cfg.Nodes-1)
+	}
+	if src == dst {
+		return Transfer{}, fmt.Errorf("simnet: self-transfer on node %d", src)
+	}
+	if bytes < 0 {
+		return Transfer{}, fmt.Errorf("simnet: negative size %d", bytes)
+	}
+	t := Transfer{Src: src, Dst: dst, Bytes: bytes, Issued: now}
+	srcNIC, dstNIC := n.cfg.nic(src), n.cfg.nic(dst)
+	if srcNIC == dstNIC {
+		// Co-located processes: shared-memory transfer, no NIC involved.
+		t.StartTx = now + n.cfg.SendOverhead
+		t.SendComplete = t.StartTx + float64(bytes)*n.cfg.IntraNodeByteTime
+		t.Arrival = t.SendComplete + n.cfg.IntraNodeLatency
+		t.Delivered = t.Arrival + n.cfg.RecvOverhead
+		n.nTx++
+		if n.trace != nil {
+			n.trace(t)
+		}
+		return t, nil
+	}
+	txTime := float64(bytes) * n.cfg.ByteTimeSend
+	if n.rng != nil && txTime > 0 {
+		txTime *= 1 + n.cfg.NoiseAmplitude*n.rng.Float64()
+	}
+	t.StartTx = max(now+n.cfg.SendOverhead, n.sendFree[srcNIC])
+	t.SendComplete = t.StartTx + txTime
+	n.sendFree[srcNIC] = t.SendComplete
+	t.Arrival = t.SendComplete + n.cfg.Latency
+	startRx := max(t.Arrival, n.recvFree[dstNIC])
+	drained := startRx + float64(bytes)*n.cfg.ByteTimeRecv
+	n.recvFree[dstNIC] = drained
+	t.Delivered = drained + n.cfg.RecvOverhead
+	n.nTx++
+	if n.trace != nil {
+		n.trace(t)
+	}
+	return t, nil
+}
+
+// PointToPointTime returns the noise-free duration of a single isolated
+// m-byte transfer on an idle network: the Hockney T_p2p(m) = α + β·m of
+// this substrate, with α = SendOverhead + Latency + RecvOverhead and
+// β = ByteTimeSend + ByteTimeRecv. Useful as ground truth in tests.
+func (c Config) PointToPointTime(bytes int) float64 {
+	return c.SendOverhead + c.Latency + c.RecvOverhead +
+		float64(bytes)*(c.ByteTimeSend+c.ByteTimeRecv)
+}
+
+// Reset returns all ports to idle at time zero and restarts the jitter
+// stream, so that consecutive experiments on the same Network are
+// independent and reproducible.
+func (n *Network) Reset() {
+	for i := range n.sendFree {
+		n.sendFree[i] = 0
+		n.recvFree[i] = 0
+	}
+	if n.cfg.NoiseAmplitude > 0 {
+		n.rng = rand.New(rand.NewSource(n.cfg.NoiseSeed))
+	}
+	n.nTx = 0
+}

@@ -1,0 +1,274 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{
+		Nodes:        8,
+		Latency:      20e-6,
+		ByteTimeSend: 1e-9,
+		ByteTimeRecv: 1e-9,
+		SendOverhead: 1e-6,
+		RecvOverhead: 1e-6,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Nodes: 0},
+		{Nodes: 2, Latency: -1},
+		{Nodes: 2, ByteTimeSend: -1},
+		{Nodes: 2, SendOverhead: -1},
+		{Nodes: 2, RecvOverhead: -1},
+		{Nodes: 2, NoiseAmplitude: -0.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := New(Config{Nodes: -3}); err == nil {
+		t.Error("New should reject invalid config")
+	}
+}
+
+func TestSingleTransferTiming(t *testing.T) {
+	cfg := testConfig()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 1 << 20
+	tr, err := n.Transmit(0, 1, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StartTx != cfg.SendOverhead {
+		t.Errorf("StartTx = %v", tr.StartTx)
+	}
+	wantSendDone := cfg.SendOverhead + float64(m)*cfg.ByteTimeSend
+	if math.Abs(tr.SendComplete-wantSendDone) > 1e-15 {
+		t.Errorf("SendComplete = %v, want %v", tr.SendComplete, wantSendDone)
+	}
+	wantDelivered := cfg.PointToPointTime(m)
+	if math.Abs(tr.Delivered-wantDelivered) > 1e-12 {
+		t.Errorf("Delivered = %v, want %v", tr.Delivered, wantDelivered)
+	}
+}
+
+func TestSendPortSerialisation(t *testing.T) {
+	// P-1 back-to-back sends from node 0 must serialise on its send port:
+	// this is the physical origin of the paper's γ(P) > 1.
+	cfg := testConfig()
+	n, _ := New(cfg)
+	const m = 8192
+	var last Transfer
+	for dst := 1; dst <= 5; dst++ {
+		tr, err := n.Transmit(0, dst, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dst > 1 && tr.StartTx < last.SendComplete {
+			t.Fatalf("send to %d started at %v before previous completed at %v",
+				dst, tr.StartTx, last.SendComplete)
+		}
+		last = tr
+	}
+	// The 5th transfer leaves the port only after 5 transmissions' worth of
+	// byte time.
+	wantMin := cfg.SendOverhead + 5*float64(m)*cfg.ByteTimeSend
+	if last.SendComplete < wantMin-1e-15 {
+		t.Fatalf("SendComplete = %v, want >= %v", last.SendComplete, wantMin)
+	}
+}
+
+func TestRecvPortSerialisation(t *testing.T) {
+	cfg := testConfig()
+	n, _ := New(cfg)
+	const m = 1 << 16
+	a, _ := n.Transmit(1, 0, m, 0)
+	b, _ := n.Transmit(2, 0, m, 0)
+	// Both arrive around the same moment; the second must wait for the
+	// receive port to drain the first.
+	if b.Delivered <= a.Delivered {
+		t.Fatalf("second delivery %v not after first %v", b.Delivered, a.Delivered)
+	}
+	gap := b.Delivered - a.Delivered
+	wantGap := float64(m) * cfg.ByteTimeRecv
+	if math.Abs(gap-wantGap) > 1e-12 {
+		t.Fatalf("delivery gap = %v, want %v", gap, wantGap)
+	}
+}
+
+func TestFullDuplexPorts(t *testing.T) {
+	// A node forwarding (receiving on one port, sending on the other) must
+	// not serialise the two directions; this is what enables pipelining.
+	cfg := testConfig()
+	n, _ := New(cfg)
+	const m = 1 << 20
+	in, _ := n.Transmit(0, 1, m, 0)
+	out, _ := n.Transmit(1, 2, m, 0)
+	// The outgoing transfer from node 1 starts immediately, regardless of
+	// the inbound transfer occupying node 1's receive port.
+	if out.StartTx > cfg.SendOverhead+1e-15 {
+		t.Fatalf("outbound blocked by inbound: StartTx = %v", out.StartTx)
+	}
+	_ = in
+}
+
+func TestTransmitErrors(t *testing.T) {
+	n, _ := New(testConfig())
+	if _, err := n.Transmit(0, 0, 10, 0); err == nil {
+		t.Error("self transfer should fail")
+	}
+	if _, err := n.Transmit(-1, 1, 10, 0); err == nil {
+		t.Error("negative src should fail")
+	}
+	if _, err := n.Transmit(0, 99, 10, 0); err == nil {
+		t.Error("dst out of range should fail")
+	}
+	if _, err := n.Transmit(0, 1, -5, 0); err == nil {
+		t.Error("negative size should fail")
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	cfg := testConfig()
+	n, _ := New(cfg)
+	tr, err := n.Transmit(0, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.SendOverhead + cfg.Latency + cfg.RecvOverhead
+	if math.Abs(tr.Delivered-want) > 1e-15 {
+		t.Fatalf("zero-byte delivery = %v, want pure latency %v", tr.Delivered, want)
+	}
+}
+
+func TestNoiseDeterminismAndBounds(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseAmplitude = 0.1
+	cfg.NoiseSeed = 1234
+	n1, _ := New(cfg)
+	n2, _ := New(cfg)
+	base := cfg
+	base.NoiseAmplitude = 0
+	clean, _ := New(base)
+	for i := 0; i < 100; i++ {
+		a, _ := n1.Transmit(0, 1, 8192, float64(i))
+		b, _ := n2.Transmit(0, 1, 8192, float64(i))
+		c, _ := clean.Transmit(0, 1, 8192, float64(i))
+		if a.Delivered != b.Delivered {
+			t.Fatal("identical configs diverged")
+		}
+		if a.Delivered < c.Delivered-1e-15 {
+			t.Fatal("noise made a transfer faster than noise-free")
+		}
+		if a.SendComplete > c.SendComplete*(1+0.1)+1e-9 {
+			t.Fatal("noise exceeded amplitude bound")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseAmplitude = 0.05
+	cfg.NoiseSeed = 7
+	n, _ := New(cfg)
+	first, _ := n.Transmit(0, 1, 4096, 0)
+	for i := 0; i < 10; i++ {
+		_, _ = n.Transmit(2, 3, 1024, float64(i))
+	}
+	if n.Transfers() != 11 {
+		t.Fatalf("Transfers = %d", n.Transfers())
+	}
+	n.Reset()
+	if n.Transfers() != 0 {
+		t.Fatal("Reset should clear counter")
+	}
+	again, _ := n.Transmit(0, 1, 4096, 0)
+	if again.Delivered != first.Delivered {
+		t.Fatalf("Reset did not restore reproducibility: %v vs %v",
+			again.Delivered, first.Delivered)
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	n, _ := New(testConfig())
+	var seen []Transfer
+	n.SetTrace(func(tr Transfer) { seen = append(seen, tr) })
+	_, _ = n.Transmit(0, 1, 100, 0)
+	_, _ = n.Transmit(1, 2, 200, 1)
+	if len(seen) != 2 || seen[0].Bytes != 100 || seen[1].Src != 1 {
+		t.Fatalf("trace = %+v", seen)
+	}
+	n.SetTrace(nil)
+	_, _ = n.Transmit(2, 3, 1, 2)
+	if len(seen) != 2 {
+		t.Fatal("trace not disabled")
+	}
+}
+
+func TestPointToPointTimeLinearInBytes(t *testing.T) {
+	cfg := testConfig()
+	t0 := cfg.PointToPointTime(0)
+	t1 := cfg.PointToPointTime(1000)
+	t2 := cfg.PointToPointTime(2000)
+	if math.Abs((t2-t1)-(t1-t0)) > 1e-18 {
+		t.Fatal("PointToPointTime not affine in message size")
+	}
+}
+
+// Property: causality — every transfer is delivered strictly after it was
+// issued, and timing fields are monotonically ordered.
+func TestTransferCausalityProperty(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseAmplitude = 0.2
+	cfg.NoiseSeed = 99
+	n, _ := New(cfg)
+	now := 0.0
+	f := func(srcRaw, dstRaw uint8, size uint16, dt uint8) bool {
+		src := int(srcRaw) % cfg.Nodes
+		dst := int(dstRaw) % cfg.Nodes
+		if src == dst {
+			return true
+		}
+		now += float64(dt) * 1e-6
+		tr, err := n.Transmit(src, dst, int(size), now)
+		if err != nil {
+			return false
+		}
+		return tr.Issued <= tr.StartTx &&
+			tr.StartTx <= tr.SendComplete &&
+			tr.SendComplete < tr.Arrival &&
+			tr.Arrival <= tr.Delivered &&
+			tr.Delivered > tr.Issued
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with noise disabled, transfer duration is non-decreasing in
+// message size when the network is otherwise idle.
+func TestMonotoneInSizeProperty(t *testing.T) {
+	cfg := testConfig()
+	f := func(a, b uint32) bool {
+		sa, sb := int(a%(1<<22)), int(b%(1<<22))
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		return cfg.PointToPointTime(sa) <= cfg.PointToPointTime(sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+package stats
+
+import "math"
+
+// LinearFit holds the result of fitting y ≈ Intercept + Slope*x.
+//
+// In the paper's notation the canonical per-experiment equation is
+// α + β·m̃ = T̃, so for parameter estimation Intercept plays the role of α
+// and Slope the role of β.
+type LinearFit struct {
+	Intercept float64
+	Slope     float64
+	// Iterations is the number of IRLS iterations a robust fit performed
+	// (1 for plain OLS).
+	Iterations int
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// Residuals returns y[i] - Predict(x[i]) for each point.
+func (f LinearFit) Residuals(xs, ys []float64) []float64 {
+	rs := make([]float64, len(xs))
+	for i := range xs {
+		rs[i] = ys[i] - f.Predict(xs[i])
+	}
+	return rs
+}
+
+// OLS fits y ≈ a + b*x by ordinary least squares. It requires at least two
+// points with distinct x values.
+func OLS(xs, ys []float64) (LinearFit, error) {
+	return WeightedOLS(xs, ys, nil)
+}
+
+// WeightedOLS fits y ≈ a + b*x minimising Σ w_i (y_i - a - b x_i)².
+// A nil weight slice means uniform weights.
+func WeightedOLS(xs, ys, ws []float64) (LinearFit, error) {
+	n := len(xs)
+	if n < 2 || len(ys) != n || (ws != nil && len(ws) != n) {
+		return LinearFit{}, ErrInsufficientData
+	}
+	var sw, swx, swy, swxx, swxy float64
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		sw += w
+		swx += w * xs[i]
+		swy += w * ys[i]
+		swxx += w * xs[i] * xs[i]
+		swxy += w * xs[i] * ys[i]
+	}
+	det := sw*swxx - swx*swx
+	if det == 0 || sw == 0 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	b := (sw*swxy - swx*swy) / det
+	a := (swy - b*swx) / sw
+	return LinearFit{Intercept: a, Slope: b, Iterations: 1}, nil
+}
+
+// HuberRegression fits y ≈ a + b*x with the Huber M-estimator solved by
+// iteratively reweighted least squares (IRLS). The scale is re-estimated
+// each iteration from the residual MAD, and delta is the usual 1.345·σ
+// tuning constant giving 95% efficiency under normal errors.
+//
+// This is the regressor the paper uses (§4.2, ref. [25]) to solve the
+// per-algorithm system of canonical equations α + β·m̃_i = T̃_i: timing
+// experiments occasionally produce gross outliers, and Huber loss prevents
+// a single contaminated run from corrupting α and β.
+func HuberRegression(xs, ys []float64) (LinearFit, error) {
+	const (
+		tuning  = 1.345
+		maxIter = 100
+		tol     = 1e-12
+	)
+	fit, err := OLS(xs, ys)
+	if err != nil {
+		return LinearFit{}, err
+	}
+	n := len(xs)
+	ws := make([]float64, n)
+	for iter := 1; iter <= maxIter; iter++ {
+		res := fit.Residuals(xs, ys)
+		sigma := MAD(res)
+		if sigma == 0 {
+			// Perfect fit (or degenerate residuals): nothing to robustify.
+			fit.Iterations = iter
+			return fit, nil
+		}
+		delta := tuning * sigma
+		for i, r := range res {
+			ar := math.Abs(r)
+			if ar <= delta {
+				ws[i] = 1
+			} else {
+				ws[i] = delta / ar
+			}
+		}
+		next, err := WeightedOLS(xs, ys, ws)
+		if err != nil {
+			return LinearFit{}, err
+		}
+		next.Iterations = iter + 1
+		converged := math.Abs(next.Intercept-fit.Intercept) <= tol*(1+math.Abs(fit.Intercept)) &&
+			math.Abs(next.Slope-fit.Slope) <= tol*(1+math.Abs(fit.Slope))
+		fit = next
+		if converged {
+			break
+		}
+	}
+	return fit, nil
+}
+
+// RelativeHuberRegression fits y ≈ a + b·x minimising the Huber loss of
+// the *relative* residuals (y_i - a - b·x_i)/y_i. All y values must be
+// positive.
+//
+// Plain least squares (and plain Huber) weight equations by their absolute
+// residuals, so in a system whose right-hand sides span orders of
+// magnitude — the paper's §4.2 message grid runs from 8 KB to 4 MB, three
+// decades of experiment times — the small-message equations contribute
+// almost nothing and the fitted α loses its meaning. Relative weighting
+// makes each message size count equally, which matters on platforms where
+// α is not negligible.
+func RelativeHuberRegression(xs, ys []float64) (LinearFit, error) {
+	const (
+		tuning  = 1.345
+		maxIter = 100
+		tol     = 1e-12
+	)
+	n := len(xs)
+	if n < 2 || len(ys) != n {
+		return LinearFit{}, ErrInsufficientData
+	}
+	base := make([]float64, n)
+	for i, y := range ys {
+		if y <= 0 {
+			return LinearFit{}, ErrInsufficientData
+		}
+		base[i] = 1 / (y * y)
+	}
+	fit, err := WeightedOLS(xs, ys, base)
+	if err != nil {
+		return LinearFit{}, err
+	}
+	ws := make([]float64, n)
+	rel := make([]float64, n)
+	for iter := 1; iter <= maxIter; iter++ {
+		for i := range xs {
+			rel[i] = (ys[i] - fit.Predict(xs[i])) / ys[i]
+		}
+		sigma := MAD(rel)
+		if sigma == 0 {
+			fit.Iterations = iter
+			return fit, nil
+		}
+		delta := tuning * sigma
+		for i, r := range rel {
+			h := 1.0
+			if ar := math.Abs(r); ar > delta {
+				h = delta / ar
+			}
+			ws[i] = base[i] * h
+		}
+		next, err := WeightedOLS(xs, ys, ws)
+		if err != nil {
+			return LinearFit{}, err
+		}
+		next.Iterations = iter + 1
+		converged := math.Abs(next.Intercept-fit.Intercept) <= tol*(1+math.Abs(fit.Intercept)) &&
+			math.Abs(next.Slope-fit.Slope) <= tol*(1+math.Abs(fit.Slope))
+		fit = next
+		if converged {
+			break
+		}
+	}
+	return fit, nil
+}
+
+// HuberLoss evaluates the Huber loss ρ_δ(r) of a residual r for tuning
+// constant delta. Exported mainly for tests and documentation: IRLS above
+// minimises Σ ρ_δ(y_i - a - b x_i).
+func HuberLoss(r, delta float64) float64 {
+	ar := math.Abs(r)
+	if ar <= delta {
+		return 0.5 * r * r
+	}
+	return delta * (ar - 0.5*delta)
+}
+
+// RSquared returns the coefficient of determination of the fit on (xs, ys).
+func (f LinearFit) RSquared(xs, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	my := Mean(ys)
+	var ssRes, ssTot float64
+	for i := range xs {
+		r := ys[i] - f.Predict(xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}

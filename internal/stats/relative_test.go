@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRelativeHuberExactLine(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 + 3*x
+	}
+	fit, err := RelativeHuberRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Intercept, 5, 1e-9) || !almostEqual(fit.Slope, 3, 1e-9) {
+		t.Fatalf("fit = %+v", fit)
+	}
+}
+
+func TestRelativeHuberRecoversInterceptAcrossDecades(t *testing.T) {
+	// The motivating case: y spans four decades with multiplicative noise.
+	// Plain (absolute-residual) Huber fits the largest points and loses
+	// the intercept; the relative variant recovers it.
+	rng := rand.New(rand.NewSource(17))
+	const a, b = 40e-6, 1.6e-9 // α ≈ 40 µs, β ≈ 1.6 ns/B
+	var xs, ys []float64
+	for m := 8192.0; m <= 4<<20; m *= 2 {
+		y := (a + b*m) * (1 + 0.02*rng.NormFloat64())
+		xs = append(xs, m)
+		ys = append(ys, y)
+	}
+	rel, err := RelativeHuberRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := HuberRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErrA := math.Abs(rel.Intercept/a - 1)
+	absErrA := math.Abs(abs.Intercept/a - 1)
+	if relErrA > 0.25 {
+		t.Fatalf("relative fit intercept %v, want ≈ %v", rel.Intercept, a)
+	}
+	if relErrA >= absErrA {
+		t.Fatalf("relative fit (%.0f%%) should beat absolute fit (%.0f%%) on the intercept",
+			relErrA*100, absErrA*100)
+	}
+	if math.Abs(rel.Slope/b-1) > 0.05 {
+		t.Fatalf("slope %v, want ≈ %v", rel.Slope, b)
+	}
+}
+
+func TestRelativeHuberResistsOutliers(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 10 + 2*x
+	}
+	ys[3] *= 5 // gross multiplicative outlier
+	fit, err := RelativeHuberRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Intercept-10) > 2 || math.Abs(fit.Slope-2) > 0.3 {
+		t.Fatalf("outlier corrupted the fit: %+v", fit)
+	}
+}
+
+func TestRelativeHuberValidation(t *testing.T) {
+	if _, err := RelativeHuberRegression([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point should fail")
+	}
+	if _, err := RelativeHuberRegression([]float64{1, 2}, []float64{1, 0}); err == nil {
+		t.Fatal("non-positive y should fail")
+	}
+	if _, err := RelativeHuberRegression([]float64{1, 2}, []float64{-1, 2}); err == nil {
+		t.Fatal("negative y should fail")
+	}
+	if _, err := RelativeHuberRegression([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}

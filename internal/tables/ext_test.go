@@ -1,0 +1,53 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateExtTable(t *testing.T) {
+	pr := smallProfiles(t)[0]
+	tab, err := GenerateExtTable(pr, 8, []int{4096, 262144}, fastSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 families x 2 sizes.
+	if len(tab.Rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(tab.Rows))
+	}
+	families := map[string]bool{}
+	for _, r := range tab.Rows {
+		families[r.Family] = true
+		if r.Best == "" || r.Pick == "" {
+			t.Fatalf("row %+v incomplete", r)
+		}
+		if r.Degradation < 0 {
+			t.Fatalf("negative degradation in %+v", r)
+		}
+		if len(r.Times) < 2 {
+			t.Fatalf("family %s has %d algorithms", r.Family, len(r.Times))
+		}
+	}
+	if len(families) != 7 {
+		t.Fatalf("families covered: %v", families)
+	}
+	// The model-based picks must be collectively sane: worst degradation
+	// bounded (the per-family tests in selection assert tighter bounds).
+	if tab.MaxDegradation() > 100 {
+		t.Fatalf("worst extension degradation %.0f%%", tab.MaxDegradation())
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "Extension") || !strings.Contains(out, "reduce_scatter") {
+		t.Fatalf("render:\n%s", out)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "cluster,P,collective") || strings.Count(csv, "\n") != 15 {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestTrimFamily(t *testing.T) {
+	if trimFamily("allgather/ring") != "ring" || trimFamily("plain") != "plain" {
+		t.Fatal("trimFamily")
+	}
+}

@@ -1,0 +1,198 @@
+package tables
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one curve of an ASCII plot.
+type Series struct {
+	Name   string
+	Marker byte
+	X      []float64
+	Y      []float64
+}
+
+// Plot renders a log-log ASCII line chart of the given series — enough to
+// eyeball the crossovers the paper's figures show without leaving the
+// terminal. Width and height are the plot area in characters (sensible
+// minimums are enforced).
+func Plot(title, xlabel, ylabel string, width, height int, series []Series) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	// Bounds over all finite positive points (log axes).
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if x <= 0 || y <= 0 || math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return title + "\n(no plottable points)\n"
+	}
+	// Avoid a zero-extent axis.
+	if minX == maxX {
+		maxX = minX * 2
+	}
+	if minY == maxY {
+		maxY = minY * 2
+	}
+	lx0, lx1 := math.Log(minX), math.Log(maxX)
+	ly0, ly1 := math.Log(minY), math.Log(maxY)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		f := (math.Log(x) - lx0) / (lx1 - lx0)
+		c := int(math.Round(f * float64(width-1)))
+		return clampInt(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		f := (math.Log(y) - ly0) / (ly1 - ly0)
+		r := (height - 1) - int(math.Round(f*float64(height-1)))
+		return clampInt(r, 0, height-1)
+	}
+	for _, s := range series {
+		prevC, prevR := -1, -1
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue
+			}
+			c, r := col(s.X[i]), row(s.Y[i])
+			// Connect consecutive points with a sparse line.
+			if prevC >= 0 {
+				steps := maxInt(absInt(c-prevC), absInt(r-prevR))
+				for k := 1; k < steps; k++ {
+					ic := prevC + (c-prevC)*k/steps
+					ir := prevR + (r-prevR)*k/steps
+					if grid[ir][ic] == ' ' {
+						grid[ir][ic] = '.'
+					}
+				}
+			}
+			grid[r][c] = s.Marker
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%s (log scale)\n", ylabel)
+	for r := 0; r < height; r++ {
+		var label string
+		switch r {
+		case 0:
+			label = fmtSI(maxY)
+		case height - 1:
+			label = fmtSI(minY)
+		}
+		fmt.Fprintf(&b, "%10s |%s|\n", label, grid[r])
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*s%s\n", "", width-len(fmtSI(maxX)), fmtSI(minX), fmtSI(maxX))
+	fmt.Fprintf(&b, "%10s  %s (log scale)\n", "", xlabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %c = %s\n", s.Marker, s.Name)
+	}
+	return b.String()
+}
+
+// fmtSI formats a value with an engineering suffix.
+func fmtSI(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case v >= 1:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%.3gm", v*1e3)
+	case v >= 1e-6:
+		return fmt.Sprintf("%.3gu", v*1e6)
+	case v > 0:
+		return fmt.Sprintf("%.3gn", v*1e9)
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PlotFig1 renders the Fig. 1 comparison as an ASCII chart.
+func (f Fig1) PlotFig1(width, height int) string {
+	xs := make([]float64, len(f.Rows))
+	tb := make([]float64, len(f.Rows))
+	tn := make([]float64, len(f.Rows))
+	mb := make([]float64, len(f.Rows))
+	mn := make([]float64, len(f.Rows))
+	for i, r := range f.Rows {
+		xs[i] = float64(r.M)
+		tb[i], tn[i], mb[i], mn[i] = r.TradBinary, r.TradBinomial, r.MeasBinary, r.MeasBinomial
+	}
+	return Plot(
+		fmt.Sprintf("Fig. 1 — traditional models vs experiment (%s, P=%d)", f.Cluster, f.P),
+		"message size (B)", "time (s)", width, height,
+		[]Series{
+			{Name: "traditional binary", Marker: 'B', X: xs, Y: tb},
+			{Name: "traditional binomial", Marker: 'N', X: xs, Y: tn},
+			{Name: "measured binary", Marker: 'b', X: xs, Y: mb},
+			{Name: "measured binomial", Marker: 'n', X: xs, Y: mn},
+		})
+}
+
+// PlotFig5 renders a Fig. 5 panel as an ASCII chart.
+func (p Fig5Panel) PlotFig5(width, height int) string {
+	xs := make([]float64, len(p.Points))
+	om := make([]float64, len(p.Points))
+	mo := make([]float64, len(p.Points))
+	be := make([]float64, len(p.Points))
+	for i, pt := range p.Points {
+		xs[i] = float64(pt.M)
+		om[i], mo[i], be[i] = pt.OMPITime, pt.ModelTime, pt.BestTime
+	}
+	return Plot(
+		fmt.Sprintf("Fig. 5 — selector comparison (%s, P=%d)", p.Cluster, p.P),
+		"message size (B)", "time (s)", width, height,
+		[]Series{
+			{Name: "open mpi decision", Marker: 'o', X: xs, Y: om},
+			{Name: "model-based", Marker: 'm', X: xs, Y: mo},
+			{Name: "best", Marker: '*', X: xs, Y: be},
+		})
+}

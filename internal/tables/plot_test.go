@@ -1,0 +1,98 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	s := []Series{
+		{Name: "up", Marker: 'u', X: []float64{1, 10, 100, 1000}, Y: []float64{1, 2, 4, 8}},
+		{Name: "down", Marker: 'd', X: []float64{1, 10, 100, 1000}, Y: []float64{8, 4, 2, 1}},
+	}
+	out := Plot("test chart", "x", "y", 40, 10, s)
+	for _, want := range []string{"test chart", "u = up", "d = down", "(log scale)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers must appear in the grid.
+	if strings.Count(out, "u") < 2 || strings.Count(out, "d") < 2 {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	// An increasing series' first marker is on a lower row than its last:
+	// find rows containing 'u'.
+	lines := strings.Split(out, "\n")
+	firstU, lastU := -1, -1
+	for i, line := range lines {
+		if strings.Contains(line, "|") && strings.Contains(line, "u") {
+			if firstU < 0 {
+				firstU = i
+			}
+			lastU = i
+		}
+	}
+	if firstU < 0 || firstU == lastU {
+		t.Fatalf("u series occupies a single row:\n%s", out)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	// No plottable points.
+	out := Plot("empty", "x", "y", 30, 8, []Series{{Name: "z", Marker: 'z', X: []float64{0}, Y: []float64{-1}}})
+	if !strings.Contains(out, "no plottable points") {
+		t.Fatalf("degenerate plot:\n%s", out)
+	}
+	// Single point (zero extent axes) must not panic.
+	out = Plot("one", "x", "y", 30, 8, []Series{{Name: "p", Marker: 'p', X: []float64{5}, Y: []float64{7}}})
+	if !strings.Contains(out, "p = p") {
+		t.Fatalf("single-point plot:\n%s", out)
+	}
+	// Tiny dimensions are clamped.
+	out = Plot("tiny", "x", "y", 1, 1, []Series{{Name: "p", Marker: 'p', X: []float64{1, 2}, Y: []float64{1, 2}}})
+	if len(out) == 0 {
+		t.Fatal("clamped plot empty")
+	}
+}
+
+func TestFmtSI(t *testing.T) {
+	cases := map[float64]string{
+		2e9:    "2G",
+		3.5e6:  "3.5M",
+		8192:   "8.19k",
+		42:     "42",
+		0.0021: "2.1m",
+		4.2e-6: "4.2u",
+		7e-9:   "7n",
+	}
+	for v, want := range cases {
+		if got := fmtSI(v); got != want {
+			t.Errorf("fmtSI(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPlotFigures(t *testing.T) {
+	fig := Fig1{
+		Cluster: "grisou", P: 90,
+		Rows: []Fig1Row{
+			{M: 8192, TradBinary: 1e-3, TradBinomial: 2e-3, MeasBinary: 0.5e-3, MeasBinomial: 0.4e-3},
+			{M: 1 << 20, TradBinary: 0.1, TradBinomial: 0.2, MeasBinary: 0.01, MeasBinomial: 0.02},
+		},
+	}
+	out := fig.PlotFig1(60, 15)
+	if !strings.Contains(out, "Fig. 1") || !strings.Contains(out, "measured binomial") {
+		t.Fatalf("fig1 plot:\n%s", out)
+	}
+	panel := Fig5Panel{
+		Cluster: "gros", P: 100,
+		Points: []Fig5Point{
+			{M: 8192, OMPITime: 1e-3, ModelTime: 0.9e-3, BestTime: 0.8e-3},
+			{M: 1 << 20, OMPITime: 0.1, ModelTime: 0.01, BestTime: 0.01},
+		},
+	}
+	out = panel.PlotFig5(60, 15)
+	if !strings.Contains(out, "Fig. 5") || !strings.Contains(out, "open mpi decision") {
+		t.Fatalf("fig5 plot:\n%s", out)
+	}
+}

@@ -1,0 +1,185 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/selection"
+)
+
+func fastSettings() experiment.Settings {
+	return experiment.Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 30, Warmup: 1}
+}
+
+func smallProfiles(t *testing.T) []cluster.Profile {
+	t.Helper()
+	g, err := cluster.Grisou().WithNodes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := cluster.Gros().WithNodes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []cluster.Profile{g, gr}
+}
+
+func TestPaperSizes(t *testing.T) {
+	sizes := PaperSizes()
+	if len(sizes) != 10 {
+		t.Fatalf("paper grid has 10 sizes, got %d", len(sizes))
+	}
+	if sizes[0] != 8192 || sizes[9] != 4<<20 {
+		t.Fatalf("grid endpoints: %v", sizes)
+	}
+}
+
+func TestKBFormatting(t *testing.T) {
+	cases := map[int]string{
+		8192:    "8KB",
+		524288:  "512KB",
+		1 << 20: "1MB",
+		4 << 20: "4MB",
+		16384:   "16KB",
+	}
+	for m, want := range cases {
+		if got := kb(m); got != want {
+			t.Errorf("kb(%d) = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestGenerateTable1(t *testing.T) {
+	profiles := smallProfiles(t)
+	tab, err := GenerateTable1(profiles, fastSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Clusters) != 2 || tab.MaxP != 7 {
+		t.Fatalf("table1 shape: %+v", tab.Clusters)
+	}
+	for _, c := range tab.Clusters {
+		for p := 3; p <= 7; p++ {
+			g := tab.Gamma[c][p]
+			if g < 1 || g > 3 {
+				t.Errorf("%s: γ(%d) = %v outside plausible range", c, p, g)
+			}
+		}
+	}
+	text := tab.Render()
+	if !strings.Contains(text, "Table 1") || !strings.Contains(text, "grisou") {
+		t.Fatalf("render missing content:\n%s", text)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "cluster,P,gamma\n") || strings.Count(csv, "\n") != 11 {
+		t.Fatalf("csv malformed:\n%s", csv)
+	}
+}
+
+func TestGenerateFig1(t *testing.T) {
+	pr := smallProfiles(t)[0]
+	fig, err := GenerateFig1(pr, 16, []int{8192, 131072, 1 << 20}, fastSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 3 {
+		t.Fatalf("rows = %d", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		if r.MeasBinary <= 0 || r.MeasBinomial <= 0 || r.TradBinary <= 0 || r.TradBinomial <= 0 {
+			t.Fatalf("non-positive entries: %+v", r)
+		}
+	}
+	// The Fig. 1 phenomenon: at the largest size the traditional model
+	// misses the measured value by a clear margin for at least one of the
+	// two algorithms.
+	last := fig.Rows[len(fig.Rows)-1]
+	errBinary := relErr(last.TradBinary, last.MeasBinary)
+	errBinomial := relErr(last.TradBinomial, last.MeasBinomial)
+	if errBinary < 0.15 && errBinomial < 0.15 {
+		t.Fatalf("traditional models too accurate (%.2f, %.2f) — Fig. 1's gap should appear",
+			errBinary, errBinomial)
+	}
+	if !strings.Contains(fig.Render(), "Fig. 1") {
+		t.Fatal("render header")
+	}
+	if !strings.HasPrefix(fig.CSV(), "cluster,P,m_bytes") {
+		t.Fatal("csv header")
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	d := a/b - 1
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func TestGenerateTable2AndDownstream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full estimation pipeline")
+	}
+	profiles := smallProfiles(t)[:1]
+	pr := profiles[0]
+	tab2, err := GenerateTable2(profiles, map[string]int{pr.Name: 8}, fastSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab2.Rows) != 6 {
+		t.Fatalf("table2 rows = %d", len(tab2.Rows))
+	}
+	for _, r := range tab2.Rows {
+		if r.Beta <= 0 {
+			t.Errorf("%s/%v: β = %v", r.Cluster, r.Algorithm, r.Beta)
+		}
+	}
+	if !strings.Contains(tab2.Render(), "alpha (s)") {
+		t.Fatal("table2 render")
+	}
+	sel := selection.ModelBased{Models: tab2.Models[pr.Name]}
+
+	sizes := []int{8192, 131072, 2 << 20}
+	panel, err := GenerateFig5Panel(pr, sel, 16, sizes, fastSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel.Points) != 3 {
+		t.Fatalf("panel points = %d", len(panel.Points))
+	}
+	for _, pt := range panel.Points {
+		if pt.BestTime <= 0 || pt.ModelTime < pt.BestTime {
+			t.Fatalf("inconsistent point: %+v (model cannot beat the oracle at the same segment size)", pt)
+		}
+	}
+	if !strings.Contains(panel.Render(), "Fig. 5") || !strings.Contains(panel.CSV(), "ompi_s") {
+		t.Fatal("panel rendering")
+	}
+
+	tab3, err := GenerateTable3(pr, sel, 16, sizes, fastSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab3.Rows) != 3 {
+		t.Fatalf("table3 rows = %d", len(tab3.Rows))
+	}
+	if tab3.MaxModelDegradation() < 0 {
+		t.Fatal("negative degradation")
+	}
+	// The paper's core claim at miniature scale: model-based selection
+	// stays within a modest factor of the best.
+	if tab3.MaxModelDegradation() > 60 {
+		t.Fatalf("model-based selection degrades up to %.0f%%", tab3.MaxModelDegradation())
+	}
+	if !strings.Contains(tab3.Render(), "Table 3") {
+		t.Fatal("table3 render")
+	}
+	if !strings.HasPrefix(tab3.CSV(), "cluster,P,m_bytes,best") {
+		t.Fatal("table3 csv")
+	}
+}

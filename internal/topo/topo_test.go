@@ -1,0 +1,293 @@
+package topo
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildKAryBinaryShape(t *testing.T) {
+	tr, err := BuildKAry(7, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Full binary tree on 7 nodes: root 0 -> {1,2}, 1 -> {3,4}, 2 -> {5,6}.
+	want := map[int][]int{0: {1, 2}, 1: {3, 4}, 2: {5, 6}}
+	for r, cs := range want {
+		got := tr.Children[r]
+		if len(got) != len(cs) {
+			t.Fatalf("children[%d] = %v, want %v", r, got, cs)
+		}
+		for i := range cs {
+			if got[i] != cs[i] {
+				t.Fatalf("children[%d] = %v, want %v", r, got, cs)
+			}
+		}
+	}
+	if tr.Height() != 2 {
+		t.Fatalf("height = %d", tr.Height())
+	}
+	for _, leaf := range []int{3, 4, 5, 6} {
+		if !tr.IsLeaf(leaf) {
+			t.Fatalf("rank %d should be a leaf", leaf)
+		}
+	}
+}
+
+func TestBuildKAryNonZeroRoot(t *testing.T) {
+	tr, err := BuildKAry(5, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root != 3 || tr.Parent[3] != -1 {
+		t.Fatalf("root handling broken: %+v", tr)
+	}
+	// vrank 1 and 2 are real ranks 4 and 0.
+	if tr.Parent[4] != 3 || tr.Parent[0] != 3 {
+		t.Fatalf("parents = %v", tr.Parent)
+	}
+}
+
+func TestBuildBinomialShape(t *testing.T) {
+	tr, err := BuildBinomial(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Root children largest-subtree-first: 4, 2, 1.
+	got := tr.Children[0]
+	want := []int{4, 2, 1}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("root children = %v, want %v", got, want)
+	}
+	// Node 4's children: 6, 5. Node 6's child: 7.
+	if len(tr.Children[4]) != 2 || tr.Children[4][0] != 6 || tr.Children[4][1] != 5 {
+		t.Fatalf("children[4] = %v", tr.Children[4])
+	}
+	if len(tr.Children[6]) != 1 || tr.Children[6][0] != 7 {
+		t.Fatalf("children[6] = %v", tr.Children[6])
+	}
+	if tr.Height() != 3 {
+		t.Fatalf("height = %d, want log2(8)", tr.Height())
+	}
+}
+
+func TestBinomialHeightIsFloorLog2(t *testing.T) {
+	// Paper §3.1: H = floor(log2 P) for the balanced binomial tree.
+	for p := 1; p <= 130; p++ {
+		tr, err := BuildBinomial(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bits.Len(uint(p)) - 1 // floor(log2 p)
+		if tr.Height() != want {
+			t.Fatalf("P=%d: height %d, want %d", p, tr.Height(), want)
+		}
+	}
+}
+
+func TestBinomialRootDegree(t *testing.T) {
+	// The root of a binomial tree over P nodes has ceil(log2 P) children.
+	for _, c := range []struct{ p, want int }{
+		{2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {90, 7}, {124, 7},
+	} {
+		tr, _ := BuildBinomial(c.p, 0)
+		if got := len(tr.Children[0]); got != c.want {
+			t.Errorf("P=%d: root degree %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestBuildChainSingle(t *testing.T) {
+	tr, err := BuildChain(5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 0 -> 1 -> 2 -> 3 -> 4.
+	for r := 0; r < 4; r++ {
+		if len(tr.Children[r]) != 1 || tr.Children[r][0] != r+1 {
+			t.Fatalf("chain broken at %d: %v", r, tr.Children[r])
+		}
+	}
+	if tr.Height() != 4 {
+		t.Fatalf("height = %d", tr.Height())
+	}
+}
+
+func TestBuildChainMultiple(t *testing.T) {
+	tr, err := BuildChain(10, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Children[0]); got != 3 {
+		t.Fatalf("root has %d chains, want 3", got)
+	}
+	// 9 non-root ranks over 3 chains: 3+3+3.
+	if h := tr.Height(); h != 3 {
+		t.Fatalf("height = %d, want 3", h)
+	}
+	// Interior chain nodes have exactly one child.
+	for r := 1; r < 10; r++ {
+		if n := len(tr.Children[r]); n > 1 {
+			t.Fatalf("chain node %d has %d children", r, n)
+		}
+	}
+}
+
+func TestBuildChainMoreChainsThanRanks(t *testing.T) {
+	tr, err := BuildChain(3, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Children[0]) != 2 || tr.Height() != 1 {
+		t.Fatalf("degenerate chain wrong: %+v", tr)
+	}
+}
+
+func TestBuildLinear(t *testing.T) {
+	tr, err := BuildLinear(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Children[2]) != 5 || tr.Height() != 1 {
+		t.Fatalf("linear tree wrong: %+v", tr)
+	}
+}
+
+func TestArgValidation(t *testing.T) {
+	if _, err := BuildKAry(0, 0, 2); err == nil {
+		t.Error("size 0")
+	}
+	if _, err := BuildKAry(4, 9, 2); err == nil {
+		t.Error("root out of range")
+	}
+	if _, err := BuildKAry(4, 0, 0); err == nil {
+		t.Error("fanout 0")
+	}
+	if _, err := BuildChain(4, 0, 0); err == nil {
+		t.Error("nchains 0")
+	}
+	if _, err := BuildBinomial(3, -1); err == nil {
+		t.Error("negative root")
+	}
+}
+
+func TestSingleRankTrees(t *testing.T) {
+	for _, build := range []func() (*Tree, error){
+		func() (*Tree, error) { return BuildKAry(1, 0, 2) },
+		func() (*Tree, error) { return BuildBinomial(1, 0) },
+		func() (*Tree, error) { return BuildChain(1, 0, 4) },
+		func() (*Tree, error) { return BuildLinear(1, 0) },
+	} {
+		tr, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Height() != 0 {
+			t.Fatal("single-rank tree should have height 0")
+		}
+	}
+}
+
+func TestStageWidthsBinomial(t *testing.T) {
+	tr, _ := BuildBinomial(8, 0)
+	w := tr.StageWidths()
+	// Depth-0 busiest node is the root with 3 children; depth-1 busiest is
+	// node 4 with 2; depth-2 busiest is node 6 with 1.
+	want := []int{3, 2, 1}
+	if len(w) != len(want) {
+		t.Fatalf("widths = %v", w)
+	}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("widths = %v, want %v", w, want)
+		}
+	}
+}
+
+// Property: every builder yields a valid spanning tree for any size, root
+// and fanout, with every rank's depth consistent and height bounded.
+func TestAllBuildersValidProperty(t *testing.T) {
+	f := func(sizeRaw uint8, rootRaw uint8, fanRaw uint8, kind uint8) bool {
+		size := int(sizeRaw%130) + 1
+		root := int(rootRaw) % size
+		fan := int(fanRaw%6) + 1
+		var tr *Tree
+		var err error
+		switch kind % 4 {
+		case 0:
+			tr, err = BuildKAry(size, root, fan)
+		case 1:
+			tr, err = BuildBinomial(size, root)
+		case 2:
+			tr, err = BuildChain(size, root, fan)
+		case 3:
+			tr, err = BuildLinear(size, root)
+		}
+		if err != nil {
+			return false
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		return tr.Height() <= size-1 || size == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: root shifting is a relabelling — the tree for root r is the
+// root-0 tree with all ranks shifted by r.
+func TestRootShiftIsRelabellingProperty(t *testing.T) {
+	f := func(sizeRaw, rootRaw uint8) bool {
+		size := int(sizeRaw%60) + 2
+		root := int(rootRaw) % size
+		t0, err0 := BuildBinomial(size, 0)
+		tr, errR := BuildBinomial(size, root)
+		if err0 != nil || errR != nil {
+			return false
+		}
+		for v := 0; v < size; v++ {
+			r := (v + root) % size
+			p0 := t0.Parent[v]
+			pr := tr.Parent[r]
+			if p0 == -1 {
+				if pr != -1 {
+					return false
+				}
+				continue
+			}
+			if pr != (p0+root)%size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package trace records and analyses the transfer-level behaviour of a
+// simulated collective: which links were used, how busy each NIC port
+// was, and where the critical path ran. It answers the question the
+// analytical models compress away — *why* one algorithm beats another on
+// a given fabric — and is the debugging companion to package model: when
+// a model misses, the trace shows which phase (fill, steady state,
+// exchange) diverged.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpicollperf/internal/simnet"
+)
+
+// Collector accumulates transfers from a simnet trace hook.
+type Collector struct {
+	transfers []simnet.Transfer
+}
+
+// Attach registers the collector on a network (replacing any existing
+// hook) and returns it.
+func Attach(net *simnet.Network) *Collector {
+	c := &Collector{}
+	net.SetTrace(func(tr simnet.Transfer) {
+		c.transfers = append(c.transfers, tr)
+	})
+	return c
+}
+
+// Reset discards everything recorded so far.
+func (c *Collector) Reset() { c.transfers = c.transfers[:0] }
+
+// Transfers returns the recorded transfers in simulation order.
+func (c *Collector) Transfers() []simnet.Transfer { return c.transfers }
+
+// NodeStats aggregates one node's port activity.
+type NodeStats struct {
+	Node int
+	// SentMessages / SentBytes cover the send port, RecvMessages /
+	// RecvBytes the receive port.
+	SentMessages, RecvMessages int
+	SentBytes, RecvBytes       int64
+	// SendBusy and RecvBusy are the total port occupancy times in
+	// virtual seconds.
+	SendBusy, RecvBusy float64
+}
+
+// Report is the digest of a recorded execution.
+type Report struct {
+	// Transfers is the total message count, Bytes the total payload
+	// volume (each byte counted once, on the wire).
+	Transfers int
+	Bytes     int64
+	// Start and Finish span the first injection to the last delivery.
+	Start, Finish float64
+	// Nodes holds per-node statistics for nodes that communicated.
+	Nodes []NodeStats
+	// MaxSendBusy / MaxRecvBusy identify the bottleneck ports.
+	MaxSendBusy, MaxRecvBusy NodeStats
+}
+
+// Analyze digests the recorded transfers.
+func (c *Collector) Analyze() Report {
+	rep := Report{}
+	if len(c.transfers) == 0 {
+		return rep
+	}
+	byNode := make(map[int]*NodeStats)
+	get := func(n int) *NodeStats {
+		s, ok := byNode[n]
+		if !ok {
+			s = &NodeStats{Node: n}
+			byNode[n] = s
+		}
+		return s
+	}
+	rep.Start = c.transfers[0].Issued
+	for _, tr := range c.transfers {
+		rep.Transfers++
+		rep.Bytes += int64(tr.Bytes)
+		if tr.Issued < rep.Start {
+			rep.Start = tr.Issued
+		}
+		if tr.Delivered > rep.Finish {
+			rep.Finish = tr.Delivered
+		}
+		s := get(tr.Src)
+		s.SentMessages++
+		s.SentBytes += int64(tr.Bytes)
+		s.SendBusy += tr.SendComplete - tr.StartTx
+		d := get(tr.Dst)
+		d.RecvMessages++
+		d.RecvBytes += int64(tr.Bytes)
+		// Receive-port occupancy: delivery minus arrival bounds queueing
+		// plus drain; use the drain component implied by byte counts when
+		// available is overkill — record the span.
+		d.RecvBusy += tr.Delivered - tr.Arrival
+	}
+	rep.Nodes = make([]NodeStats, 0, len(byNode))
+	for _, s := range byNode {
+		rep.Nodes = append(rep.Nodes, *s)
+		if s.SendBusy > rep.MaxSendBusy.SendBusy {
+			rep.MaxSendBusy = *s
+		}
+		if s.RecvBusy > rep.MaxRecvBusy.RecvBusy {
+			rep.MaxRecvBusy = *s
+		}
+	}
+	sort.Slice(rep.Nodes, func(i, j int) bool { return rep.Nodes[i].Node < rep.Nodes[j].Node })
+	return rep
+}
+
+// Duration returns the report's makespan.
+func (r Report) Duration() float64 { return r.Finish - r.Start }
+
+// Render formats the report as a text summary.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transfers: %d, bytes: %d, span: %.6fs\n", r.Transfers, r.Bytes, r.Duration())
+	fmt.Fprintf(&b, "bottleneck send port: node %d busy %.6fs (%d msgs, %d B)\n",
+		r.MaxSendBusy.Node, r.MaxSendBusy.SendBusy, r.MaxSendBusy.SentMessages, r.MaxSendBusy.SentBytes)
+	fmt.Fprintf(&b, "bottleneck recv port: node %d busy %.6fs (%d msgs, %d B)\n",
+		r.MaxRecvBusy.Node, r.MaxRecvBusy.RecvBusy, r.MaxRecvBusy.RecvMessages, r.MaxRecvBusy.RecvBytes)
+	return b.String()
+}
+
+// Timeline renders an ASCII Gantt chart of send-port activity: one row per
+// node, '#' where the port is busy, '.' where idle, over width columns
+// spanning the execution. Rows for nodes that never sent are omitted.
+func (c *Collector) Timeline(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	rep := c.Analyze()
+	if rep.Transfers == 0 {
+		return "(no transfers)\n"
+	}
+	span := rep.Finish - rep.Start
+	if span <= 0 {
+		span = 1
+	}
+	rows := make(map[int][]byte)
+	for _, tr := range c.transfers {
+		row, ok := rows[tr.Src]
+		if !ok {
+			row = []byte(strings.Repeat(".", width))
+			rows[tr.Src] = row
+		}
+		lo := int(float64(width-1) * (tr.StartTx - rep.Start) / span)
+		hi := int(float64(width-1) * (tr.SendComplete - rep.Start) / span)
+		for i := lo; i <= hi && i < width; i++ {
+			if i >= 0 {
+				row[i] = '#'
+			}
+		}
+	}
+	nodes := make([]int, 0, len(rows))
+	for n := range rows {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "send-port activity, %.6fs span\n", span)
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "node %3d |%s|\n", n, rows[n])
+	}
+	return b.String()
+}
+
+// CriticalPath walks backwards from the last delivery through the chain
+// of transfers that gated it: for each hop it finds the latest transfer
+// into the current node that delivered before the hop was issued. The
+// result is a lower-bound reconstruction of the dependency chain (the
+// runtime does not expose true causality), which in tree broadcasts
+// recovers the actual root-to-leaf path.
+func (c *Collector) CriticalPath() []simnet.Transfer {
+	if len(c.transfers) == 0 {
+		return nil
+	}
+	// Last delivery overall.
+	last := c.transfers[0]
+	for _, tr := range c.transfers {
+		if tr.Delivered > last.Delivered {
+			last = tr
+		}
+	}
+	path := []simnet.Transfer{last}
+	cur := last
+	for {
+		var best *simnet.Transfer
+		for i := range c.transfers {
+			tr := &c.transfers[i]
+			if tr.Dst != cur.Src || tr.Delivered > cur.Issued {
+				continue
+			}
+			if best == nil || tr.Delivered > best.Delivered {
+				best = tr
+			}
+		}
+		if best == nil {
+			break
+		}
+		path = append(path, *best)
+		cur = *best
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/mpi"
+	"mpicollperf/internal/simnet"
+)
+
+func runTraced(t *testing.T, nprocs int, fn func(p *mpi.Proc) error) *Collector {
+	t.Helper()
+	pr, err := cluster.Grisou().WithNodes(nprocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Net.NoiseAmplitude = 0
+	net, err := pr.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Attach(net)
+	if _, err := mpi.RunOn(net, nprocs, fn, mpi.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCollectorRecordsBcast(t *testing.T) {
+	const nprocs = 8
+	c := runTraced(t, nprocs, func(p *mpi.Proc) error {
+		coll.Bcast(p, coll.BcastBinomial, 0, coll.Synthetic(65536), 8192)
+		return nil
+	})
+	rep := c.Analyze()
+	// A binomial broadcast on 8 ranks with 8 segments: every non-root rank
+	// receives 8 segments, so 7*8 = 56 transfers.
+	if rep.Transfers != 56 {
+		t.Fatalf("transfers = %d, want 56", rep.Transfers)
+	}
+	if rep.Bytes != 7*65536 {
+		t.Fatalf("bytes = %d", rep.Bytes)
+	}
+	if rep.Duration() <= 0 {
+		t.Fatal("non-positive duration")
+	}
+	// The root (node 0) must be the bottleneck sender in a binomial tree.
+	if rep.MaxSendBusy.Node != 0 {
+		t.Fatalf("bottleneck sender = node %d, want the root", rep.MaxSendBusy.Node)
+	}
+	// Every rank except the root received something.
+	if len(rep.Nodes) != nprocs {
+		t.Fatalf("nodes with activity = %d", len(rep.Nodes))
+	}
+}
+
+func TestChainBottleneckIsNotRoot(t *testing.T) {
+	// In a chain every interior node forwards everything, so send-port
+	// busy time is roughly equal for all but the tail; the root must NOT
+	// dominate the way it does in the linear algorithm.
+	cLinear := runTraced(t, 8, func(p *mpi.Proc) error {
+		coll.Bcast(p, coll.BcastLinear, 0, coll.Synthetic(1<<20), 0)
+		return nil
+	})
+	repLin := cLinear.Analyze()
+	if repLin.MaxSendBusy.Node != 0 || repLin.MaxSendBusy.SentMessages != 7 {
+		t.Fatalf("linear: root should send everything: %+v", repLin.MaxSendBusy)
+	}
+	cChain := runTraced(t, 8, func(p *mpi.Proc) error {
+		coll.Bcast(p, coll.BcastChain, 0, coll.Synthetic(1<<20), 8192)
+		return nil
+	})
+	repChain := cChain.Analyze()
+	rootBusy := 0.0
+	for _, n := range repChain.Nodes {
+		if n.Node == 0 {
+			rootBusy = n.SendBusy
+		}
+	}
+	if repLin.MaxSendBusy.SendBusy <= 2*rootBusy {
+		t.Fatalf("linear root (%v) should be far busier than chain root (%v)",
+			repLin.MaxSendBusy.SendBusy, rootBusy)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	c := runTraced(t, 4, func(p *mpi.Proc) error {
+		coll.Bcast(p, coll.BcastBinary, 0, coll.Synthetic(8192), 8192)
+		return nil
+	})
+	out := c.Analyze().Render()
+	for _, want := range []string{"transfers:", "bottleneck send port", "bottleneck recv port"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	c := runTraced(t, 4, func(p *mpi.Proc) error {
+		coll.Bcast(p, coll.BcastChain, 0, coll.Synthetic(32768), 8192)
+		return nil
+	})
+	tl := c.Timeline(60)
+	if !strings.Contains(tl, "node   0") || !strings.Contains(tl, "#") {
+		t.Fatalf("timeline:\n%s", tl)
+	}
+	// Chain: nodes 0..2 send, node 3 is the tail and must not appear.
+	if strings.Contains(tl, "node   3") {
+		t.Fatalf("tail node should have no send row:\n%s", tl)
+	}
+	if (&Collector{}).Timeline(40) != "(no transfers)\n" {
+		t.Fatal("empty timeline")
+	}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	// In a single-segment chain the critical path is exactly the chain.
+	c := runTraced(t, 5, func(p *mpi.Proc) error {
+		coll.Bcast(p, coll.BcastChain, 0, coll.Synthetic(8192), 8192)
+		return nil
+	})
+	path := c.CriticalPath()
+	if len(path) != 4 {
+		t.Fatalf("path length = %d, want 4 hops", len(path))
+	}
+	for i, tr := range path {
+		if tr.Src != i || tr.Dst != i+1 {
+			t.Fatalf("hop %d is %d->%d, want %d->%d", i, tr.Src, tr.Dst, i, i+1)
+		}
+	}
+	// Path must be time-ordered.
+	for i := 1; i < len(path); i++ {
+		if path[i].Issued < path[i-1].Delivered {
+			t.Fatal("path hops overlap impossibly")
+		}
+	}
+}
+
+func TestResetAndEmpty(t *testing.T) {
+	net, err := simnet.New(cluster.Grisou().Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Attach(net)
+	if rep := c.Analyze(); rep.Transfers != 0 {
+		t.Fatal("fresh collector should be empty")
+	}
+	if c.CriticalPath() != nil {
+		t.Fatal("empty critical path")
+	}
+	_, _ = net.Transmit(0, 1, 100, 0)
+	if len(c.Transfers()) != 1 {
+		t.Fatal("hook not recording")
+	}
+	c.Reset()
+	if len(c.Transfers()) != 0 {
+		t.Fatal("reset failed")
+	}
+}

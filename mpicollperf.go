@@ -1,0 +1,103 @@
+// Package mpicollperf reproduces "A New Model-Based Approach to
+// Performance Comparison of MPI Collective Algorithms" (Nuriyev &
+// Lastovetsky, PaCT 2021) as a self-contained Go library.
+//
+// The library bundles:
+//
+//   - a deterministic discrete-event cluster simulator standing in for the
+//     paper's Grid'5000 Grisou and Gros testbeds;
+//   - an MPI-like runtime and the six Open MPI 3.1 broadcast algorithms
+//     (plus gather, scatter, reduce and barrier collectives);
+//   - the paper's two contributions: implementation-derived analytical
+//     models of the broadcast algorithms and per-algorithm estimation of
+//     their Hockney parameters from collective communication experiments;
+//   - three selectors — model-based (the paper's), Open MPI's fixed
+//     decision function, and the measured oracle — and generators for
+//     every table and figure of the paper's evaluation.
+//
+// This facade re-exports the high-level workflow; power users can reach
+// the full machinery through the internal packages (the cmd tools and
+// examples show how).
+//
+// Quick start:
+//
+//	profile := mpicollperf.Grisou()
+//	sel, err := mpicollperf.Calibrate(profile, mpicollperf.CalibrationConfig{})
+//	if err != nil { ... }
+//	choice, err := sel.Best(90, 1<<20) // which algorithm for 1 MB over 90 ranks?
+package mpicollperf
+
+import (
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/core"
+	"mpicollperf/internal/estimate"
+	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/model"
+	"mpicollperf/internal/selection"
+)
+
+// Re-exported types: the calibrated selector and its inputs/outputs.
+type (
+	// Profile describes a simulated cluster platform.
+	Profile = cluster.Profile
+	// Selector is a calibrated run-time broadcast-algorithm selector.
+	Selector = core.Selector
+	// Choice is a selected algorithm plus segment size.
+	Choice = selection.Choice
+	// BcastAlgorithm identifies one of the six broadcast algorithms.
+	BcastAlgorithm = coll.BcastAlgorithm
+	// CalibrationConfig parameterises the offline estimation phase.
+	CalibrationConfig = estimate.AlphaBetaConfig
+	// MeasureSettings controls the adaptive measurement loop.
+	MeasureSettings = experiment.Settings
+	// Models bundles γ and per-algorithm Hockney parameters.
+	Models = model.BcastModels
+)
+
+// The six Open MPI 3.1 broadcast algorithms.
+const (
+	BcastLinear      = coll.BcastLinear
+	BcastChain       = coll.BcastChain
+	BcastKChain      = coll.BcastKChain
+	BcastBinary      = coll.BcastBinary
+	BcastSplitBinary = coll.BcastSplitBinary
+	BcastBinomial    = coll.BcastBinomial
+)
+
+// Grisou returns the simulated Grid'5000 Grisou platform (10 Gbps
+// Ethernet, up to 90 processes).
+func Grisou() Profile { return cluster.Grisou() }
+
+// Gros returns the simulated Grid'5000 Gros platform (25 Gbps Ethernet,
+// up to 124 processes).
+func Gros() Profile { return cluster.Gros() }
+
+// CustomCluster builds a platform from node count, one-way latency
+// (seconds) and link bandwidth (bytes/second).
+func CustomCluster(name string, nodes int, latency, bandwidthBps float64) (Profile, error) {
+	return cluster.Custom(name, nodes, latency, bandwidthBps)
+}
+
+// Calibrate runs the paper's offline estimation pipeline (§4) on a
+// platform and returns a ready selector.
+func Calibrate(pr Profile, cfg CalibrationConfig) (*Selector, error) {
+	return core.Calibrate(pr, cfg)
+}
+
+// LoadCalibration restores a selector from a JSON file written by
+// Selector.SaveModels.
+func LoadCalibration(pr Profile, path string) (*Selector, error) {
+	return core.LoadModels(pr, path)
+}
+
+// OpenMPIDecision is Open MPI 3.1's hard-coded broadcast decision
+// function, for comparison against a calibrated selector.
+func OpenMPIDecision(P, m int) Choice { return selection.OpenMPIFixed(P, m) }
+
+// DefaultMeasureSettings returns the paper's measurement methodology: 95%
+// confidence, 2.5% precision.
+func DefaultMeasureSettings() MeasureSettings { return experiment.DefaultSettings() }
+
+// BcastAlgorithms lists the six algorithms in a stable order.
+func BcastAlgorithms() []BcastAlgorithm { return coll.BcastAlgorithms() }

@@ -1,0 +1,92 @@
+package mpicollperf
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFacadeWorkflow exercises the whole public API surface the README
+// advertises: build a platform, calibrate, select, predict, persist,
+// reload.
+func TestFacadeWorkflow(t *testing.T) {
+	profile, err := Grisou().WithNodes(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := MeasureSettings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 30, Warmup: 1}
+	sel, err := Calibrate(profile, CalibrationConfig{
+		Procs:    6,
+		Sizes:    []int{8192, 65536, 524288},
+		Settings: set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	choice, err := sel.Best(12, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.SegSize != profile.SegmentSize {
+		t.Fatalf("segment size = %d", choice.SegSize)
+	}
+	found := false
+	for _, alg := range BcastAlgorithms() {
+		if alg == choice.Alg {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("choice %v not among the six algorithms", choice.Alg)
+	}
+
+	ompi := OpenMPIDecision(12, 1<<20)
+	if ompi.Alg != BcastSplitBinary && ompi.Alg != BcastChain && ompi.Alg != BcastBinomial {
+		t.Fatalf("open mpi decision %v outside its known range", ompi)
+	}
+
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := sel.SaveModels(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCalibration(profile, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := loaded.Best(12, 1<<20)
+	if err != nil || again != choice {
+		t.Fatalf("reloaded selection %v/%v, want %v", again, err, choice)
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	if Grisou().Nodes != 90 || Gros().Nodes != 124 {
+		t.Fatal("paper platform sizes")
+	}
+	custom, err := CustomCluster("lab", 8, 5e-6, 1e9)
+	if err != nil || custom.Nodes != 8 {
+		t.Fatalf("custom cluster: %v %v", custom, err)
+	}
+	if _, err := CustomCluster("bad", 8, 5e-6, -1); err == nil {
+		t.Fatal("negative bandwidth should fail")
+	}
+}
+
+func TestFacadeConstantsDistinct(t *testing.T) {
+	algs := BcastAlgorithms()
+	if len(algs) != 6 {
+		t.Fatalf("expected the paper's six algorithms, got %d", len(algs))
+	}
+	seen := map[BcastAlgorithm]bool{}
+	for _, a := range []BcastAlgorithm{
+		BcastLinear, BcastChain, BcastKChain, BcastBinary, BcastSplitBinary, BcastBinomial,
+	} {
+		if seen[a] {
+			t.Fatalf("duplicate constant %v", a)
+		}
+		seen[a] = true
+	}
+	if DefaultMeasureSettings().Precision != 0.025 {
+		t.Fatal("paper precision is 2.5%")
+	}
+}
