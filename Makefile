@@ -1,0 +1,41 @@
+# CI entry points for the reproduction. `make ci` is the gate: it vets,
+# builds, runs the test suite twice (plain and -race), and enforces that
+# every internal/* package carries a godoc package comment.
+
+GO ?= go
+
+.PHONY: ci vet build test race doccheck bench
+
+ci: vet build test race doccheck
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Sweep-engine scaling and the per-artifact paper benchmarks.
+bench:
+	$(GO) test -bench=Sweep -benchmem ./internal/experiment/
+	$(GO) test -bench=. -benchmem .
+
+# Every internal/* package must have a package comment: `go doc` prints
+# the comment starting on line 3 (line 1 is the package clause, line 2 is
+# blank) and package comments conventionally start with "Package <name>";
+# when the comment is missing, line 3 is the first symbol summary instead.
+doccheck:
+	@fail=0; \
+	for d in internal/*/; do \
+		case "$$($(GO) doc ./$$d 2>/dev/null | sed -n 3p)" in \
+			Package*) ;; \
+			*) echo "doccheck: $$d has no package comment"; fail=1 ;; \
+		esac; \
+	done; \
+	if [ $$fail -ne 0 ]; then exit 1; fi; \
+	echo "doccheck: all internal packages documented"

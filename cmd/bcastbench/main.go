@@ -2,13 +2,20 @@
 // simulated cluster and prints the measured execution times — the raw
 // experimental curves behind the paper's figures.
 //
+// The (size × algorithm) grid fans out over a worker pool (one fresh
+// simulator per grid point, so the numbers are identical to a serial
+// run), and an optional on-disk cache lets repeated sweeps over
+// overlapping grids skip already-measured points.
+//
 // Usage:
 //
 //	bcastbench [-cluster grisou] [-np 90] [-algs binomial,binary] \
-//	           [-min 8192] [-max 4194304] [-points 10] [-seg 8192]
+//	           [-min 8192] [-max 4194304] [-points 10] [-seg 8192] \
+//	           [-workers 0] [-cache DIR]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,14 +35,29 @@ func main() {
 	}
 }
 
+// sweepSizes validates the size-sweep flags and returns the log-spaced
+// grid. points must be at least 2: stats.LogSpace is defined for n >= 2,
+// and a 1-point "sweep" would silently measure only min and drop max.
+func sweepSizes(minM, maxM, points int) ([]int, error) {
+	if minM <= 0 || maxM < minM {
+		return nil, fmt.Errorf("invalid size sweep: min=%d max=%d", minM, maxM)
+	}
+	if points < 2 {
+		return nil, fmt.Errorf("invalid size sweep: points=%d (need >= 2 to cover both min and max)", points)
+	}
+	return stats.LogSpaceBytes(minM, maxM, points), nil
+}
+
 func run() error {
 	clusterName := flag.String("cluster", "grisou", "cluster profile (grisou, gros)")
 	np := flag.Int("np", 0, "number of processes (default: whole cluster)")
 	algsFlag := flag.String("algs", "", "comma-separated algorithms (default: all six)")
 	minM := flag.Int("min", 8192, "smallest message size in bytes")
 	maxM := flag.Int("max", 4<<20, "largest message size in bytes")
-	points := flag.Int("points", 10, "number of log-spaced sizes")
+	points := flag.Int("points", 10, "number of log-spaced sizes (>= 2)")
 	seg := flag.Int("seg", 0, "segment size (default: the platform's 8 KB)")
+	workers := flag.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial)")
+	cacheDir := flag.String("cache", "", "reuse measurements from this directory (created if missing)")
 	flag.Parse()
 
 	pr, err := cluster.ByName(*clusterName)
@@ -51,8 +73,9 @@ func run() error {
 	if *seg == 0 {
 		*seg = pr.SegmentSize
 	}
-	if *minM <= 0 || *maxM < *minM || *points < 1 {
-		return fmt.Errorf("invalid size sweep: min=%d max=%d points=%d", *minM, *maxM, *points)
+	sizes, err := sweepSizes(*minM, *maxM, *points)
+	if err != nil {
+		return err
 	}
 
 	var algs []coll.BcastAlgorithm
@@ -68,8 +91,28 @@ func run() error {
 		}
 	}
 
-	sizes := stats.LogSpaceBytes(*minM, *maxM, *points)
-	set := experiment.DefaultSettings()
+	sw := experiment.Sweep{
+		Profile:  pr,
+		Settings: experiment.DefaultSettings(),
+		Workers:  *workers,
+		Progress: func(done, total int, r experiment.Result) {
+			fmt.Fprintf(os.Stderr, "\rmeasured %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	}
+	if *cacheDir != "" {
+		if sw.Cache, err = experiment.NewDiskCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+
+	grid := experiment.BcastGrid(*np, algs, sizes, *seg)
+	results, err := sw.Run(context.Background(), grid)
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("broadcast sweep on %s, P=%d, segment=%d B\n", pr.Name, *np, *seg)
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
@@ -78,17 +121,13 @@ func run() error {
 		fmt.Fprintf(w, "\t%v (s)", alg)
 	}
 	fmt.Fprintln(w)
-	for _, m := range sizes {
+	// BcastGrid is sizes-major: results[i*len(algs)+j] is (sizes[i], algs[j]).
+	for i, m := range sizes {
 		fmt.Fprintf(w, "%d", m)
-		for _, alg := range algs {
-			meas, err := experiment.MeasureBcast(pr, *np, alg, m, *seg, set)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "\t%.6f", meas.Mean)
+		for j := range algs {
+			fmt.Fprintf(w, "\t%.6f", results[i*len(algs)+j].Meas.Mean)
 		}
 		fmt.Fprintln(w)
-		w.Flush()
 	}
-	return nil
+	return w.Flush()
 }

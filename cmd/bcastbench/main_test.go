@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+// TestSweepSizesRejectsSinglePoint is the regression test for the
+// -points 1 bug: stats.LogSpace returns just [lo] for n <= 1, so a
+// 1-point sweep used to silently measure only -min and drop -max. The
+// flag validation now rejects it.
+func TestSweepSizesRejectsSinglePoint(t *testing.T) {
+	for _, points := range []int{-1, 0, 1} {
+		if _, err := sweepSizes(8192, 4<<20, points); err == nil {
+			t.Errorf("points=%d accepted; a <2-point sweep cannot cover both min and max", points)
+		}
+	}
+}
+
+func TestSweepSizesCoversBothEndpoints(t *testing.T) {
+	sizes, err := sweepSizes(8192, 4<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 2 || sizes[0] != 8192 || sizes[1] != 4<<20 {
+		t.Fatalf("sweepSizes(8192, 4MB, 2) = %v, want [8192 4194304]", sizes)
+	}
+}
+
+func TestSweepSizesRejectsInvertedRange(t *testing.T) {
+	if _, err := sweepSizes(4<<20, 8192, 10); err == nil {
+		t.Error("inverted min/max accepted")
+	}
+	if _, err := sweepSizes(0, 8192, 10); err == nil {
+		t.Error("non-positive min accepted")
+	}
+}

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	decisiongen -cluster grisou [-cal grisou.json] [-maxprocs 90] \
-//	            [-json table.json] [-gofunc selectBcastGrisou]
+//	            [-json table.json] [-gofunc selectBcastGrisou] \
+//	            [-workers 0] [-cache DIR]
+//
+// Without -cal the calibration runs here, as a parallel sweep; pointing
+// -cache at the directory a previous fitparams -cache run filled makes
+// that calibration a pure cache replay with no measurement at all.
 package main
 
 import (
@@ -34,6 +39,8 @@ func run() error {
 	maxProcs := flag.Int("maxprocs", 0, "largest communicator size (default: the platform)")
 	jsonPath := flag.String("json", "", "write the table as JSON to this path")
 	goFunc := flag.String("gofunc", "", "emit the table as a Go function with this name")
+	workers := flag.Int("workers", 0, "concurrent calibration measurements (0 = GOMAXPROCS, 1 = serial)")
+	cacheDir := flag.String("cache", "", "reuse calibration measurements from this directory")
 	flag.Parse()
 
 	pr, err := cluster.ByName(*clusterName)
@@ -49,7 +56,16 @@ func run() error {
 		sel, err = core.LoadModels(pr, *calPath)
 	} else {
 		fmt.Fprintln(os.Stderr, "(no -cal file: running calibration, this takes a moment)")
-		sel, err = core.Calibrate(pr, estimate.AlphaBetaConfig{Settings: experiment.DefaultSettings()})
+		cfg := estimate.AlphaBetaConfig{
+			Settings: experiment.DefaultSettings(),
+			Workers:  *workers,
+		}
+		if *cacheDir != "" {
+			if cfg.Cache, err = experiment.NewDiskCache(*cacheDir); err != nil {
+				return err
+			}
+		}
+		sel, err = core.Calibrate(pr, cfg)
 	}
 	if err != nil {
 		return err

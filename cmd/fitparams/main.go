@@ -3,9 +3,15 @@
 // estimation, optionally persisting the result for later use by selectalg
 // or a library consumer.
 //
+// The calibration grid — γ(P) experiments plus every algorithm's per-size
+// experiments — is dispatched as one parallel sweep (-workers); with
+// -cache the measurements persist on disk, so a later decisiongen (or a
+// re-run) over the same grid skips them.
+//
 // Usage:
 //
-//	fitparams [-cluster grisou] [-procs 40] [-save grisou.json]
+//	fitparams [-cluster grisou] [-procs 40] [-save grisou.json] \
+//	          [-workers 0] [-cache DIR]
 package main
 
 import (
@@ -32,16 +38,31 @@ func run() error {
 	clusterName := flag.String("cluster", "grisou", "cluster profile (grisou, gros)")
 	procs := flag.Int("procs", 0, "processes for the α/β experiments (default: half the cluster)")
 	save := flag.String("save", "", "write the calibration to this JSON file")
+	workers := flag.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial)")
+	cacheDir := flag.String("cache", "", "reuse measurements from this directory (created if missing)")
 	flag.Parse()
 
 	pr, err := cluster.ByName(*clusterName)
 	if err != nil {
 		return err
 	}
-	sel, err := core.Calibrate(pr, estimate.AlphaBetaConfig{
+	cfg := estimate.AlphaBetaConfig{
 		Procs:    *procs,
 		Settings: experiment.DefaultSettings(),
-	})
+		Workers:  *workers,
+		Progress: func(done, total int, r experiment.Result) {
+			fmt.Fprintf(os.Stderr, "\rmeasured %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	}
+	if *cacheDir != "" {
+		if cfg.Cache, err = experiment.NewDiskCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+	sel, err := core.Calibrate(pr, cfg)
 	if err != nil {
 		return err
 	}

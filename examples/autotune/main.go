@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -73,15 +74,21 @@ func main() {
 	}
 	set := experiment.DefaultSettings()
 
-	sel, err := core.Calibrate(profile, estimate.AlphaBetaConfig{Settings: set})
+	// One measurement cache serves both the calibration and the oracle:
+	// everything fans out over the sweep engine's default worker pool,
+	// and a re-run of either stage against the same cache is free.
+	cache := experiment.NewCache()
+	sel, err := core.Calibrate(profile, estimate.AlphaBetaConfig{Settings: set, Cache: cache})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Oracle choices per phase, measured once up front.
+	// Oracle choices per phase, measured once up front through the shared
+	// sweep engine.
+	sw := experiment.Sweep{Profile: profile, Settings: set, Cache: cache}
 	oracleChoice := make(map[int]selection.Choice, len(phases))
 	for _, m := range phases {
-		o, err := selection.Oracle(profile, nprocs, m, set)
+		o, err := selection.OracleSweep(context.Background(), sw, nprocs, m)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,17 +1,3 @@
-// Package decision compiles a calibrated model set into a static decision
-// table — the deployment form factor the paper's motivation calls for.
-// Open MPI's fixed decision function is fast because it is a handful of
-// threshold comparisons; the paper's selector is equally fast but needs
-// the models at run time. This package bridges the two: it evaluates the
-// models offline over a (P, m) grid, coalesces the argmin into per-P
-// message-size intervals, and emits a table that an MPI library could
-// embed verbatim — lookups are two binary searches and zero floating
-// point.
-//
-// The compiled table is exact on the grid by construction; between grid
-// points it inherits the models' piecewise regularity (algorithm regions
-// in m are contiguous for these cost shapes), which the tests check
-// against direct model evaluation.
 package decision
 
 import (

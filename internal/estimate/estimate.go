@@ -1,27 +1,7 @@
-// Package estimate implements the paper's second contribution (§4): the
-// estimation of analytical-model parameters from communication experiments
-// that *contain the modelled collective algorithm itself*, instead of the
-// traditional point-to-point ping-pongs.
-//
-// Two estimators are provided:
-//
-//   - Gamma (§4.1) measures T2(P), the mean time of the non-blocking
-//     linear broadcast of one m_s-byte segment to P-1 children, for P from
-//     2 to the platform's maximum linear fanout, and forms
-//     γ(P) = T2(P)/T2(2). A linear regression over the table doubles as
-//     the extrapolation for larger fanouts.
-//
-//   - AlphaBeta (§4.2, Fig. 4) runs, for M message sizes, a communication
-//     experiment consisting of the modelled broadcast algorithm followed
-//     by a linear-without-synchronisation gather, measured on the root.
-//     With γ known, each experiment yields one linear equation
-//     a_i·α + b_i·β = T_i whose coefficients come from the
-//     implementation-derived model of the algorithm plus the gather model
-//     (Formula 8). The system is brought to the canonical form
-//     α + β·(b_i/a_i) = T_i/a_i and solved with the Huber regressor.
 package estimate
 
 import (
+	"context"
 	"fmt"
 
 	"mpicollperf/internal/cluster"
@@ -40,27 +20,63 @@ type GammaResult struct {
 	Measurements map[int]experiment.Measurement
 }
 
-// Gamma estimates γ(P) for P = 2..pr.MaxLinearFanout on the profile,
-// broadcasting one segment of pr.SegmentSize bytes, following §4.1.
-func Gamma(pr cluster.Profile, set experiment.Settings) (GammaResult, error) {
+// gammaMaxP returns the largest fanout the γ(P) experiments cover on the
+// profile.
+func gammaMaxP(pr cluster.Profile) (int, error) {
 	maxP := pr.MaxLinearFanout
 	if maxP > pr.Nodes {
 		maxP = pr.Nodes
 	}
 	if maxP < 2 {
-		return GammaResult{}, fmt.Errorf("estimate: platform %s too small for γ estimation", pr.Name)
+		return 0, fmt.Errorf("estimate: platform %s too small for γ estimation", pr.Name)
 	}
+	return maxP, nil
+}
+
+// gammaPoints builds the §4.1 grid: the non-blocking linear broadcast of
+// one segment for P = 2..maxP.
+func gammaPoints(pr cluster.Profile, maxP int) []experiment.Point {
+	points := make([]experiment.Point, 0, maxP-1)
+	for p := 2; p <= maxP; p++ {
+		points = append(points, experiment.Point{
+			Kind:     experiment.PointBcast,
+			Alg:      coll.BcastLinear,
+			Procs:    p,
+			MsgBytes: pr.SegmentSize,
+			SegSize:  0,
+		})
+	}
+	return points
+}
+
+// Gamma estimates γ(P) for P = 2..pr.MaxLinearFanout on the profile,
+// broadcasting one segment of pr.SegmentSize bytes, following §4.1. The
+// per-P experiments are independent and run through a default-width
+// sweep; results are identical to the serial loop.
+func Gamma(pr cluster.Profile, set experiment.Settings) (GammaResult, error) {
+	maxP, err := gammaMaxP(pr)
+	if err != nil {
+		return GammaResult{}, err
+	}
+	sw := experiment.Sweep{Profile: pr, Settings: set}
+	res, err := sw.Run(context.Background(), gammaPoints(pr, maxP))
+	if err != nil {
+		return GammaResult{}, fmt.Errorf("estimate: γ: %w", err)
+	}
+	return gammaFromResults(maxP, res)
+}
+
+// gammaFromResults assembles a GammaResult from the measured §4.1 grid
+// (res[i] is the P = i+2 experiment).
+func gammaFromResults(maxP int, measured []experiment.Result) (GammaResult, error) {
 	res := GammaResult{
 		T2:           make(map[int]float64, maxP-1),
 		Measurements: make(map[int]experiment.Measurement, maxP-1),
 	}
-	for p := 2; p <= maxP; p++ {
-		meas, err := experiment.MeasureLinearBcast(pr, p, pr.SegmentSize, set)
-		if err != nil {
-			return GammaResult{}, fmt.Errorf("estimate: γ at P=%d: %w", p, err)
-		}
-		res.T2[p] = meas.Mean
-		res.Measurements[p] = meas
+	for i, r := range measured {
+		p := i + 2
+		res.T2[p] = r.Meas.Mean
+		res.Measurements[p] = r.Meas
 	}
 	base := res.T2[2]
 	if base <= 0 {
@@ -100,6 +116,28 @@ type AlphaBetaConfig struct {
 	GatherBytes int
 	// Settings drive the adaptive measurements.
 	Settings experiment.Settings
+	// Workers bounds the measurement concurrency of the estimation
+	// sweeps: 0 means runtime.GOMAXPROCS(0), 1 reproduces the serial
+	// path. Concurrency never changes the results — every experiment
+	// runs on its own simulator instance.
+	Workers int
+	// Cache, if non-nil, serves already-measured grid points (see
+	// experiment.Cache); repeated calibrations of the same profile with
+	// the same settings skip their measurements entirely.
+	Cache *experiment.Cache
+	// Progress, if non-nil, observes every completed measurement.
+	Progress experiment.Progress
+}
+
+// sweep builds the measurement engine the config describes.
+func (c AlphaBetaConfig) sweep(pr cluster.Profile) experiment.Sweep {
+	return experiment.Sweep{
+		Profile:  pr,
+		Settings: c.Settings,
+		Workers:  c.Workers,
+		Cache:    c.Cache,
+		Progress: c.Progress,
+	}
 }
 
 func (c AlphaBetaConfig) withDefaults(pr cluster.Profile) (AlphaBetaConfig, error) {
@@ -150,21 +188,46 @@ type AlphaBetaResult struct {
 	Fit stats.LinearFit
 }
 
+// alphaBetaPoints builds the §4.2 grid for one algorithm: the modelled
+// broadcast followed by the small gather, one point per message size.
+func alphaBetaPoints(pr cluster.Profile, alg coll.BcastAlgorithm, cfg AlphaBetaConfig) []experiment.Point {
+	points := make([]experiment.Point, 0, len(cfg.Sizes))
+	for _, m := range cfg.Sizes {
+		points = append(points, experiment.Point{
+			Kind:        experiment.PointBcastThenGather,
+			Alg:         alg,
+			Procs:       cfg.Procs,
+			MsgBytes:    m,
+			SegSize:     pr.SegmentSize,
+			GatherBytes: cfg.GatherBytes,
+		})
+	}
+	return points
+}
+
 // AlphaBeta estimates the algorithm-specific Hockney parameters for alg on
-// the profile, given the platform's γ.
+// the profile, given the platform's γ. The per-size experiments are
+// independent and fan out over cfg.Workers; results are identical to the
+// serial loop.
 func AlphaBeta(pr cluster.Profile, alg coll.BcastAlgorithm, g model.Gamma, cfg AlphaBetaConfig) (AlphaBetaResult, error) {
 	cfg, err := cfg.withDefaults(pr)
 	if err != nil {
 		return AlphaBetaResult{}, err
 	}
+	measured, err := cfg.sweep(pr).Run(context.Background(), alphaBetaPoints(pr, alg, cfg))
+	if err != nil {
+		return AlphaBetaResult{}, fmt.Errorf("estimate: α/β for %v: %w", alg, err)
+	}
+	return fitAlphaBeta(pr, alg, g, cfg, measured)
+}
+
+// fitAlphaBeta solves the Fig. 4 system for one algorithm from its
+// measured §4.2 grid (measured[i] is the cfg.Sizes[i] experiment).
+func fitAlphaBeta(pr cluster.Profile, alg coll.BcastAlgorithm, g model.Gamma, cfg AlphaBetaConfig, measured []experiment.Result) (AlphaBetaResult, error) {
 	res := AlphaBetaResult{Equations: make([]Equation, 0, len(cfg.Sizes))}
 	xs := make([]float64, 0, len(cfg.Sizes))
 	ys := make([]float64, 0, len(cfg.Sizes))
-	for _, m := range cfg.Sizes {
-		meas, err := experiment.MeasureBcastThenGather(pr, cfg.Procs, alg, m, pr.SegmentSize, cfg.GatherBytes, cfg.Settings)
-		if err != nil {
-			return AlphaBetaResult{}, fmt.Errorf("estimate: α/β for %v at m=%d: %w", alg, m, err)
-		}
+	for i, m := range cfg.Sizes {
 		ab, bb := model.Coefficients(alg, cfg.Procs, m, pr.SegmentSize, g)
 		ag, bg := model.GatherLinearCoefficients(cfg.Procs, cfg.GatherBytes)
 		eq := Equation{
@@ -172,7 +235,7 @@ func AlphaBeta(pr cluster.Profile, alg coll.BcastAlgorithm, g model.Gamma, cfg A
 			GatherBytes: cfg.GatherBytes,
 			A:           ab + ag,
 			B:           bb + bg,
-			T:           meas.Mean,
+			T:           measured[i].Meas.Mean,
 		}
 		if eq.A <= 0 {
 			return AlphaBetaResult{}, fmt.Errorf("estimate: degenerate coefficient a=%v for %v at m=%d", eq.A, alg, m)
@@ -208,8 +271,38 @@ func AlphaBeta(pr cluster.Profile, alg coll.BcastAlgorithm, g model.Gamma, cfg A
 // Models runs the full §4 pipeline for a platform: γ estimation followed
 // by per-algorithm α/β estimation for every broadcast algorithm, producing
 // the BcastModels used by the run-time selector.
+//
+// The whole calibration is dispatched as one sweep: the γ(P) experiments
+// and every algorithm's per-size experiments are measurement-independent
+// (γ only enters the coefficient computation after the fact), so all
+// (maxP-1) + algorithms × sizes grid points fan out over cfg.Workers at
+// once. Results are bit-identical to the serial pipeline.
 func Models(pr cluster.Profile, cfg AlphaBetaConfig) (model.BcastModels, GammaResult, error) {
-	gr, err := Gamma(pr, cfg.Settings)
+	return ModelsCtx(context.Background(), pr, cfg)
+}
+
+// ModelsCtx is Models with cancellation: a cancelled ctx stops the
+// calibration sweep promptly.
+func ModelsCtx(ctx context.Context, pr cluster.Profile, cfg AlphaBetaConfig) (model.BcastModels, GammaResult, error) {
+	cfg, err := cfg.withDefaults(pr)
+	if err != nil {
+		return model.BcastModels{}, GammaResult{}, err
+	}
+	maxP, err := gammaMaxP(pr)
+	if err != nil {
+		return model.BcastModels{}, GammaResult{}, err
+	}
+	algs := coll.BcastAlgorithms()
+	points := gammaPoints(pr, maxP)
+	gammaN := len(points)
+	for _, alg := range algs {
+		points = append(points, alphaBetaPoints(pr, alg, cfg)...)
+	}
+	measured, err := cfg.sweep(pr).Run(ctx, points)
+	if err != nil {
+		return model.BcastModels{}, GammaResult{}, fmt.Errorf("estimate: calibration: %w", err)
+	}
+	gr, err := gammaFromResults(maxP, measured[:gammaN])
 	if err != nil {
 		return model.BcastModels{}, GammaResult{}, err
 	}
@@ -217,10 +310,10 @@ func Models(pr cluster.Profile, cfg AlphaBetaConfig) (model.BcastModels, GammaRe
 		Cluster: pr.Name,
 		SegSize: pr.SegmentSize,
 		Gamma:   gr.Gamma,
-		Params:  make(map[coll.BcastAlgorithm]model.Hockney, len(coll.BcastAlgorithms())),
+		Params:  make(map[coll.BcastAlgorithm]model.Hockney, len(algs)),
 	}
-	for _, alg := range coll.BcastAlgorithms() {
-		ab, err := AlphaBeta(pr, alg, gr.Gamma, cfg)
+	for i, alg := range algs {
+		ab, err := fitAlphaBeta(pr, alg, gr.Gamma, cfg, measured[gammaN+i*len(cfg.Sizes):gammaN+(i+1)*len(cfg.Sizes)])
 		if err != nil {
 			return model.BcastModels{}, GammaResult{}, err
 		}

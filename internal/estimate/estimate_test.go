@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -182,5 +183,54 @@ func TestAlphaBetaDeterministic(t *testing.T) {
 	}
 	if a.Params != b.Params {
 		t.Fatalf("estimation not reproducible: %+v vs %+v", a.Params, b.Params)
+	}
+}
+
+// TestModelsCombinedSweepMatchesComponents checks that Models — which
+// submits the γ grid and every algorithm's α/β grid as one combined
+// parallel sweep — produces exactly the parameters of running Gamma and
+// AlphaBeta separately, i.e. that batching and concurrency change
+// nothing about the estimation.
+func TestModelsCombinedSweepMatchesComponents(t *testing.T) {
+	pr := smallProfile(t, 12)
+	cfg := AlphaBetaConfig{Procs: 6, Sizes: []int{8192, 65536, 262144}, Settings: fastSettings(), Workers: 8}
+
+	bm, gr, err := Models(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grAlone, err := Gamma(pr, cfg.Settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.T2) != len(grAlone.T2) {
+		t.Fatalf("γ tables differ in size: %d vs %d", len(gr.T2), len(grAlone.T2))
+	}
+	for p, t2 := range grAlone.T2 {
+		if gr.T2[p] != t2 {
+			t.Errorf("T2(%d): combined %v, standalone %v", p, gr.T2[p], t2)
+		}
+	}
+
+	for _, alg := range coll.BcastAlgorithms() {
+		ab, err := AlphaBeta(pr, alg, grAlone.Gamma, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bm.Params[alg] != ab.Params {
+			t.Errorf("%v: combined %+v, standalone %+v", alg, bm.Params[alg], ab.Params)
+		}
+	}
+}
+
+// TestModelsCtxCancellation checks the calibration sweep honours its
+// context.
+func TestModelsCtxCancellation(t *testing.T) {
+	pr := smallProfile(t, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ModelsCtx(ctx, pr, AlphaBetaConfig{Procs: 6, Sizes: []int{8192, 65536}, Settings: fastSettings()}); err == nil {
+		t.Fatal("cancelled calibration succeeded")
 	}
 }

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/stats"
+)
+
+// benchGrid is a full six-algorithm Grisou sweep at a reduced node count
+// and repetition budget, so one serial pass stays in the seconds range.
+func benchGrid(b *testing.B) (cluster.Profile, []Point) {
+	b.Helper()
+	pr, err := cluster.Grisou().WithNodes(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := stats.LogSpaceBytes(8192, 4<<20, 6)
+	return pr, BcastGrid(pr.Nodes, coll.BcastAlgorithms(), sizes, pr.SegmentSize)
+}
+
+func benchSweepSettings() Settings {
+	return Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 10, Warmup: 1}
+}
+
+// BenchmarkSweep measures the wall-clock of the full six-algorithm Grisou
+// grid at increasing worker counts. Every grid point is an independent
+// single-threaded simulation, so on a machine with >= 8 cores the
+// workers=8 line approaches an 8x speedup over workers=1 (compare ns/op
+// across the sub-benchmarks); on fewer cores it saturates at the core
+// count. Results are byte-identical at every worker count, which
+// TestSweepDeterministicAcrossWorkerCounts enforces.
+func BenchmarkSweep(b *testing.B) {
+	pr, grid := benchGrid(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sw := Sweep{Profile: pr, Settings: benchSweepSettings(), Workers: workers}
+			b.ReportMetric(float64(len(grid)), "points/sweep")
+			for i := 0; i < b.N; i++ {
+				if _, err := sw.Run(context.Background(), grid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepCached measures a fully warm sweep: every point served
+// from the in-memory cache. The delta against BenchmarkSweep is what the
+// cache saves a repeated pipeline stage (fitparams then decisiongen).
+func BenchmarkSweepCached(b *testing.B) {
+	pr, grid := benchGrid(b)
+	sw := Sweep{Profile: pr, Settings: benchSweepSettings(), Cache: NewCache()}
+	if _, err := sw.Run(context.Background(), grid); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.Run(context.Background(), grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

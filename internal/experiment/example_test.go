@@ -1,0 +1,53 @@
+package experiment_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/experiment"
+)
+
+// ExampleSweep measures a small broadcast grid twice over a worker pool:
+// the second run is served entirely from the sweep's result cache. The
+// results come back in grid order whatever the completion order, and are
+// bit-identical to measuring each point serially.
+func ExampleSweep() {
+	pr, err := cluster.Grisou().WithNodes(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw := experiment.Sweep{
+		Profile:  pr,
+		Settings: experiment.Settings{MinReps: 2, MaxReps: 4},
+		Workers:  4, // 0 would mean runtime.GOMAXPROCS(0)
+		Cache:    experiment.NewCache(),
+	}
+	grid := experiment.BcastGrid(pr.Nodes,
+		[]coll.BcastAlgorithm{coll.BcastBinomial, coll.BcastChain},
+		[]int{8192, 1 << 20},
+		pr.SegmentSize)
+
+	results, err := sw.Run(context.Background(), grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured %d points\n", len(results))
+
+	results, err = sw.Run(context.Background(), grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cached := 0
+	for _, r := range results {
+		if r.Cached {
+			cached++
+		}
+	}
+	fmt.Printf("second run served %d of %d from the cache\n", cached, len(results))
+	// Output:
+	// measured 4 points
+	// second run served 4 of 4 from the cache
+}

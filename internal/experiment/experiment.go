@@ -1,23 +1,3 @@
-// Package experiment implements the measurement methodology of the paper's
-// §5.1, modelled on MPIBlib: a collective operation is executed repeatedly
-// inside a single MPI program, repetitions separated by barriers, until the
-// 95% Student-t confidence interval of the sample mean is within 2.5% of
-// the mean. Normality (Jarque-Bera) and independence (lag-1
-// autocorrelation) diagnostics are recorded alongside every measurement.
-//
-// Two timing modes are provided:
-//
-//   - RootTime measures the duration observed by the root between the
-//     start of the operation and its local completion. The paper's
-//     α/β-estimation experiments (§4.2) are designed to "start and finish
-//     on the root" (broadcast followed by a gather), so this mode measures
-//     them without any global clock.
-//   - Completion measures the time until every rank has finished, by
-//     closing each repetition with a barrier whose (deterministically
-//     calibrated) cost is subtracted. The γ(P) experiments (§4.1) and the
-//     algorithm-comparison curves use this mode; subtracting the barrier
-//     is a small refinement over the paper's T1(P,N)/N description that
-//     keeps barrier cost out of the γ estimate.
 package experiment
 
 import (

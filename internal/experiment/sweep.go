@@ -1,0 +1,366 @@
+package experiment
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+)
+
+// Kind selects which measurement a grid point runs.
+type Kind int
+
+const (
+	// PointBcast measures a broadcast in Completion mode (MeasureBcast).
+	// The non-blocking linear broadcast of the γ(P) procedure is the
+	// special case Alg = coll.BcastLinear, SegSize = 0.
+	PointBcast Kind = iota
+	// PointBcastThenGather measures the §4.2 estimation experiment — the
+	// modelled broadcast followed by a linear-without-synchronisation
+	// gather of GatherBytes per rank, timed on the root
+	// (MeasureBcastThenGather).
+	PointBcastThenGather
+)
+
+func (k Kind) String() string {
+	switch k {
+	case PointBcast:
+		return "bcast"
+	case PointBcastThenGather:
+		return "bcast+gather"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Point is one cell of a measurement grid: a fully specified experiment
+// whose outcome is deterministic given the cluster profile and the
+// measurement settings.
+type Point struct {
+	// Kind selects the experiment; the zero value is PointBcast.
+	Kind Kind
+	// Alg is the broadcast algorithm under measurement.
+	Alg coll.BcastAlgorithm
+	// Procs is the communicator size.
+	Procs int
+	// MsgBytes is the broadcast message size m.
+	MsgBytes int
+	// SegSize is the broadcast segment size (0 = unsegmented).
+	SegSize int
+	// GatherBytes is the per-rank gather size m_g (PointBcastThenGather
+	// only).
+	GatherBytes int
+}
+
+func (pt Point) String() string {
+	s := fmt.Sprintf("%v %v P=%d m=%d seg=%d", pt.Kind, pt.Alg, pt.Procs, pt.MsgBytes, pt.SegSize)
+	if pt.Kind == PointBcastThenGather {
+		s += fmt.Sprintf(" mg=%d", pt.GatherBytes)
+	}
+	return s
+}
+
+// Result pairs a grid point with its measurement.
+type Result struct {
+	// Point is the grid point the measurement belongs to.
+	Point Point
+	// Meas is the measurement outcome.
+	Meas Measurement
+	// Cached reports that the measurement was served from the sweep's
+	// cache instead of being run.
+	Cached bool
+}
+
+// Progress observes sweep completion events. It is called once per grid
+// point, serialised (never concurrently), with the number of points
+// finished so far, the grid size, and the point's result. Completion
+// order is nondeterministic under concurrency; only the returned slice
+// of Run is ordered.
+type Progress func(done, total int, r Result)
+
+// Sweep runs a grid of measurement points over a bounded worker pool.
+//
+// Every point builds its own simnet.Network (profiles are immutable and
+// Network() returns a fresh simulator), so concurrent measurements share
+// no mutable state and the results are bit-identical to running the same
+// grid serially — the scheduler inside each simulated MPI run, the noise
+// stream, and the adaptive repetition loop are all per-measurement
+// deterministic.
+//
+// The zero value is not usable; Profile must be set. All other fields are
+// optional.
+type Sweep struct {
+	// Profile is the simulated platform every point runs on.
+	Profile cluster.Profile
+	// Settings drive the adaptive measurement of every point; the zero
+	// value is normalised exactly as Measure normalises it, so a Sweep
+	// and direct Measure* calls with the same Settings agree.
+	Settings Settings
+	// Workers bounds the number of concurrently measured points.
+	// 0 (or negative) means runtime.GOMAXPROCS(0); 1 reproduces the
+	// serial path.
+	Workers int
+	// Cache, if non-nil, is consulted before and filled after each
+	// measurement, keyed by the full experiment identity (profile,
+	// point, settings).
+	Cache *Cache
+	// Progress, if non-nil, is invoked after each point completes.
+	Progress Progress
+}
+
+// Run measures every point of the grid and returns the results in grid
+// order (results[i] belongs to points[i]) regardless of completion order.
+//
+// The first failing point cancels all in-flight work and is returned as
+// the error; a cancelled ctx likewise stops the sweep promptly (workers
+// finish their current point and exit — individual measurements are not
+// interruptible). On error the partial results are discarded.
+func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(points) == 0 {
+		return nil, nil
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		results  = make([]Result, len(points))
+		jobs     = make(chan int)
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards firstErr, done, and serialises Progress
+		firstErr error
+		done     int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel() // stop the feeder and the other workers
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				r, err := s.measure(points[i])
+				if err != nil {
+					fail(fmt.Errorf("sweep point %d (%v): %w", i, points[i], err))
+					return
+				}
+				mu.Lock()
+				results[i] = r
+				done++
+				if s.Progress != nil {
+					s.Progress(done, len(points), r)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	// Feed indices until the grid is exhausted or the context dies; the
+	// select keeps the feeder from blocking forever once workers bail.
+feed:
+	for i := range points {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// measure serves one point, through the cache when one is attached.
+func (s Sweep) measure(pt Point) (Result, error) {
+	var key string
+	if s.Cache != nil {
+		key = cacheKey(s.Profile, pt, s.Settings)
+		if m, ok := s.Cache.get(key); ok {
+			return Result{Point: pt, Meas: m, Cached: true}, nil
+		}
+	}
+	var (
+		m   Measurement
+		err error
+	)
+	switch pt.Kind {
+	case PointBcast:
+		m, err = MeasureBcast(s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, s.Settings)
+	case PointBcastThenGather:
+		m, err = MeasureBcastThenGather(s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, pt.GatherBytes, s.Settings)
+	default:
+		err = fmt.Errorf("experiment: unknown point kind %v", pt.Kind)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if s.Cache != nil {
+		s.Cache.put(key, m)
+	}
+	return Result{Point: pt, Meas: m}, nil
+}
+
+// BcastGrid builds the (message size × algorithm) cross product at a fixed
+// communicator and segment size, sizes-major: all algorithms of sizes[0]
+// first, matching how the sweep tables are printed.
+func BcastGrid(procs int, algs []coll.BcastAlgorithm, sizes []int, segSize int) []Point {
+	points := make([]Point, 0, len(sizes)*len(algs))
+	for _, m := range sizes {
+		for _, alg := range algs {
+			points = append(points, Point{Kind: PointBcast, Alg: alg, Procs: procs, MsgBytes: m, SegSize: segSize})
+		}
+	}
+	return points
+}
+
+// cacheKeyBlob is the canonical serialisation hashed into a cache key. It
+// spells out every input that determines a measurement — the full cluster
+// profile (including the simulator's noise seed), the normalised
+// measurement settings, and the point — so any change to any of them
+// produces a different key. Algorithms are keyed by name, keeping keys
+// stable across enum reorderings.
+type cacheKeyBlob struct {
+	Version  int
+	Profile  cluster.Profile
+	Settings Settings
+	Kind     Kind
+	Alg      string
+	Procs    int
+	MsgBytes int
+	SegSize  int
+	Gather   int
+}
+
+// cacheKeyVersion invalidates every existing cache entry when the
+// measurement methodology or the simulator's timing model changes
+// incompatibly; bump it on such changes.
+const cacheKeyVersion = 1
+
+func cacheKey(pr cluster.Profile, pt Point, set Settings) string {
+	blob, err := json.Marshal(cacheKeyBlob{
+		Version:  cacheKeyVersion,
+		Profile:  pr,
+		Settings: set.withDefaults(),
+		Kind:     pt.Kind,
+		Alg:      pt.Alg.String(),
+		Procs:    pt.Procs,
+		MsgBytes: pt.MsgBytes,
+		SegSize:  pt.SegSize,
+		Gather:   pt.GatherBytes,
+	})
+	if err != nil {
+		// Every field is a plain value; Marshal cannot fail on them.
+		panic(fmt.Sprintf("experiment: cache key: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// Cache is a content-addressed measurement store shared by sweeps. Keys
+// cover the complete experiment identity, so a cache never returns a
+// measurement for a different profile, point, or methodology — reusing
+// one cache across clusters and tools is safe.
+//
+// A Cache always holds entries in memory; NewDiskCache additionally
+// persists each entry as a JSON file named <key>.json in a directory, so
+// separate process invocations (fitparams, then decisiongen over the same
+// grid) skip already-measured points. All methods are safe for concurrent
+// use.
+type Cache struct {
+	mu  sync.Mutex
+	mem map[string]Measurement
+	dir string
+}
+
+// NewCache returns an in-memory cache.
+func NewCache() *Cache {
+	return &Cache{mem: make(map[string]Measurement)}
+}
+
+// NewDiskCache returns a cache backed by dir, creating it if necessary.
+func NewDiskCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: cache dir: %w", err)
+	}
+	return &Cache{mem: make(map[string]Measurement), dir: dir}, nil
+}
+
+// Len reports the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+func (c *Cache) get(key string) (Measurement, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.mem[key]; ok {
+		return m, true
+	}
+	if c.dir == "" {
+		return Measurement{}, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return Measurement{}, false
+	}
+	var m Measurement
+	if err := json.Unmarshal(data, &m); err != nil {
+		// A truncated or foreign file is treated as a miss; the fresh
+		// measurement will overwrite it.
+		return Measurement{}, false
+	}
+	c.mem[key] = m
+	return m, true
+}
+
+func (c *Cache) put(key string, m Measurement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem[key] = m
+	if c.dir == "" {
+		return
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	// Write-then-rename so a concurrent reader never sees a torn file.
+	tmp := filepath.Join(c.dir, key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(c.dir, key+".json"))
+}

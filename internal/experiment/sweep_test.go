@@ -1,0 +1,307 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+)
+
+func sweepTestProfile(t *testing.T) cluster.Profile {
+	t.Helper()
+	pr, err := cluster.Grisou().WithNodes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func sweepTestSettings() Settings {
+	return Settings{Confidence: 0.95, Precision: 0.05, MinReps: 2, MaxReps: 4, Warmup: 0}
+}
+
+// sweepTestGrid is the full six-algorithm grid over a couple of sizes.
+func sweepTestGrid(pr cluster.Profile) []Point {
+	return BcastGrid(pr.Nodes, coll.BcastAlgorithms(), []int{4096, 65536}, pr.SegmentSize)
+}
+
+// marshalMeasurements canonicalises results for byte-identity comparison.
+func marshalMeasurements(t *testing.T, res []Result) []byte {
+	t.Helper()
+	meas := make([]Measurement, len(res))
+	for i, r := range res {
+		meas[i] = r.Meas
+	}
+	data, err := json.Marshal(meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSweepMatchesSerial asserts the tentpole invariant: a concurrent
+// sweep is byte-identical to calling the Measure* functions one point at
+// a time, because every point runs on its own simulator.
+func TestSweepMatchesSerial(t *testing.T) {
+	pr := sweepTestProfile(t)
+	set := sweepTestSettings()
+	grid := sweepTestGrid(pr)
+
+	var serial []Result
+	for _, pt := range grid {
+		meas, err := MeasureBcast(pr, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, Result{Point: pt, Meas: meas})
+	}
+
+	sw := Sweep{Profile: pr, Settings: set, Workers: 8}
+	parallel, err := sw.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshalMeasurements(t, parallel), marshalMeasurements(t, serial); string(got) != string(want) {
+		t.Fatalf("workers=8 sweep differs from the serial path:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts runs the same grid at
+// workers=1 and workers=8 and requires byte-identical result slices.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	pr := sweepTestProfile(t)
+	set := sweepTestSettings()
+	grid := sweepTestGrid(pr)
+
+	run := func(workers int) []byte {
+		sw := Sweep{Profile: pr, Settings: set, Workers: workers}
+		res, err := sw.Run(context.Background(), grid)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return marshalMeasurements(t, res)
+	}
+	if one, eight := run(1), run(8); string(one) != string(eight) {
+		t.Fatalf("workers=1 and workers=8 disagree:\n  %s\nvs %s", one, eight)
+	}
+}
+
+// TestSweepGridOrder checks results come back in grid order regardless of
+// completion order.
+func TestSweepGridOrder(t *testing.T) {
+	pr := sweepTestProfile(t)
+	grid := sweepTestGrid(pr)
+	sw := Sweep{Profile: pr, Settings: sweepTestSettings(), Workers: 4}
+	res, err := sw.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(grid) {
+		t.Fatalf("got %d results for %d points", len(res), len(grid))
+	}
+	for i, r := range res {
+		if r.Point != grid[i] {
+			t.Fatalf("result %d is for %v, want %v", i, r.Point, grid[i])
+		}
+		if r.Meas.Reps == 0 {
+			t.Fatalf("result %d (%v) was never measured", i, r.Point)
+		}
+	}
+}
+
+// TestSweepPropagatesFirstError plants an invalid point in the middle of
+// the grid and expects Run to fail with a descriptive error instead of
+// hanging or panicking.
+func TestSweepPropagatesFirstError(t *testing.T) {
+	pr := sweepTestProfile(t)
+	grid := sweepTestGrid(pr)
+	bad := Point{Kind: PointBcast, Alg: coll.BcastBinomial, Procs: pr.Nodes + 1, MsgBytes: 4096, SegSize: pr.SegmentSize}
+	grid[len(grid)/2] = bad
+
+	sw := Sweep{Profile: pr, Settings: sweepTestSettings(), Workers: 4}
+	res, err := sw.Run(context.Background(), grid)
+	if err == nil {
+		t.Fatal("sweep with an invalid point succeeded")
+	}
+	if res != nil {
+		t.Fatalf("failed sweep returned partial results: %v", res)
+	}
+	if !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("error %q does not describe the failing point", err)
+	}
+}
+
+// TestSweepContextCancel cancels mid-sweep and requires a prompt error
+// return with no leaked worker goroutines.
+func TestSweepContextCancel(t *testing.T) {
+	pr := sweepTestProfile(t)
+	// A long grid so cancellation lands well before completion.
+	sizes := make([]int, 40)
+	for i := range sizes {
+		sizes[i] = 4096 + i // distinct points, all cheap
+	}
+	grid := BcastGrid(pr.Nodes, coll.BcastAlgorithms(), sizes, pr.SegmentSize)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sw := Sweep{Profile: pr, Settings: sweepTestSettings(), Workers: 2,
+		Progress: func(done, total int, r Result) {
+			if done == 1 {
+				cancel()
+			}
+		}}
+	start := time.Now()
+	res, err := sw.Run(ctx, grid)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled sweep returned results: %d", len(res))
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled sweep took %v to return", elapsed)
+	}
+	// Workers must be gone; allow the runtime a moment to reap them.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestSweepMemoryCache re-runs a grid against the same in-memory cache
+// and expects every point to be served from it, unchanged.
+func TestSweepMemoryCache(t *testing.T) {
+	pr := sweepTestProfile(t)
+	grid := sweepTestGrid(pr)
+	sw := Sweep{Profile: pr, Settings: sweepTestSettings(), Workers: 4, Cache: NewCache()}
+
+	first, err := sw.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range first {
+		if r.Cached {
+			t.Fatalf("point %d cached on a cold cache", i)
+		}
+	}
+	if sw.Cache.Len() != len(grid) {
+		t.Fatalf("cache holds %d entries, want %d", sw.Cache.Len(), len(grid))
+	}
+	second, err := sw.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range second {
+		if !r.Cached {
+			t.Fatalf("point %d (%v) measured again despite the cache", i, r.Point)
+		}
+	}
+	if a, b := marshalMeasurements(t, first), marshalMeasurements(t, second); string(a) != string(b) {
+		t.Fatal("cached results differ from measured ones")
+	}
+}
+
+// TestSweepDiskCache round-trips measurements through the on-disk format:
+// a fresh Cache instance over the same directory must serve every point.
+func TestSweepDiskCache(t *testing.T) {
+	pr := sweepTestProfile(t)
+	grid := sweepTestGrid(pr)
+	dir := t.TempDir()
+
+	cold, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := Sweep{Profile: pr, Settings: sweepTestSettings(), Workers: 4, Cache: cold}
+	first, err := sw.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(grid) {
+		t.Fatalf("disk cache holds %d files, want %d", len(files), len(grid))
+	}
+
+	warm, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Cache = warm
+	second, err := sw.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range second {
+		if !r.Cached {
+			t.Fatalf("point %d (%v) measured again despite the disk cache", i, r.Point)
+		}
+	}
+	if a, b := marshalMeasurements(t, first), marshalMeasurements(t, second); string(a) != string(b) {
+		t.Fatal("disk-cached results differ from measured ones")
+	}
+
+	// A corrupt entry degrades to a miss, not an error.
+	if err := os.WriteFile(files[0], []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sw.Cache, err = NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Run(context.Background(), grid); err != nil {
+		t.Fatalf("sweep over a corrupt cache entry failed: %v", err)
+	}
+}
+
+// TestCacheKeyIdentity pins down what the content-addressed key covers:
+// equal inputs collide, any changed input — point, settings, profile,
+// noise seed — does not.
+func TestCacheKeyIdentity(t *testing.T) {
+	pr := sweepTestProfile(t)
+	set := sweepTestSettings()
+	pt := Point{Kind: PointBcast, Alg: coll.BcastBinomial, Procs: 8, MsgBytes: 4096, SegSize: pr.SegmentSize}
+
+	base := cacheKey(pr, pt, set)
+	if base != cacheKey(pr, pt, set) {
+		t.Fatal("cache key is not deterministic")
+	}
+
+	altPt := pt
+	altPt.MsgBytes++
+	altSet := set
+	altSet.MaxReps++
+	altPr := pr
+	altPr.Net.NoiseSeed++
+	for name, other := range map[string]string{
+		"message size": cacheKey(pr, altPt, set),
+		"settings":     cacheKey(pr, pt, altSet),
+		"noise seed":   cacheKey(altPr, pt, set),
+	} {
+		if other == base {
+			t.Fatalf("changing the %s did not change the cache key", name)
+		}
+	}
+
+	// Settings normalise before keying, so spelling the same methodology
+	// differently (zero value vs explicit normalised values) shares cache
+	// entries.
+	explicit := Settings{Confidence: 0.95, Precision: 0.025, MinReps: 5, MaxReps: 100, Warmup: 0}
+	if cacheKey(pr, pt, Settings{}) != cacheKey(pr, pt, explicit) {
+		t.Fatal("zero settings and their explicit normalised form key differently")
+	}
+}

@@ -1,19 +1,7 @@
-// Package selection implements the three broadcast-algorithm selectors the
-// paper compares (§5.3, Fig. 5, Table 3):
-//
-//   - ModelBased — the paper's contribution: evaluate the
-//     implementation-derived analytical model of every algorithm with its
-//     per-algorithm fitted parameters and pick the minimum. This is the
-//     run-time decision function; its cost is a handful of floating-point
-//     operations per algorithm (benchmarked in the repository root).
-//   - OpenMPIFixed — a port of Open MPI 3.1's hard-coded broadcast
-//     decision function (coll_tuned_decision_fixed.c), including its
-//     segment-size choices.
-//   - Oracle — the empirical best: measure every algorithm and return the
-//     fastest (the paper's green line).
 package selection
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -146,18 +134,30 @@ func (o OracleResult) Ranked() []coll.BcastAlgorithm {
 }
 
 // Oracle measures every broadcast algorithm at the platform's segment size
-// and returns the empirical ranking.
+// and returns the empirical ranking. The per-algorithm measurements are
+// independent and fan out over a default-width experiment.Sweep; results
+// are identical to measuring serially.
 func Oracle(pr cluster.Profile, P, m int, set experiment.Settings) (OracleResult, error) {
-	res := OracleResult{Times: make(map[coll.BcastAlgorithm]float64)}
+	return OracleSweep(context.Background(), experiment.Sweep{Profile: pr, Settings: set}, P, m)
+}
+
+// OracleSweep is Oracle running on a caller-supplied sweep engine, letting
+// callers bound the worker pool, reuse a measurement cache across (P, m)
+// points, and cancel mid-flight. sw.Profile names the platform.
+func OracleSweep(ctx context.Context, sw experiment.Sweep, P, m int) (OracleResult, error) {
+	algs := coll.BcastAlgorithms()
+	points := experiment.BcastGrid(P, algs, []int{m}, sw.Profile.SegmentSize)
+	measured, err := sw.Run(ctx, points)
+	if err != nil {
+		return OracleResult{}, fmt.Errorf("selection: oracle at (P=%d, m=%d): %w", P, m, err)
+	}
+	res := OracleResult{Times: make(map[coll.BcastAlgorithm]float64, len(algs))}
 	bestT := math.Inf(1)
-	for _, alg := range coll.BcastAlgorithms() {
-		meas, err := experiment.MeasureBcast(pr, P, alg, m, pr.SegmentSize, set)
-		if err != nil {
-			return OracleResult{}, fmt.Errorf("selection: oracle %v at (P=%d, m=%d): %w", alg, P, m, err)
-		}
-		res.Times[alg] = meas.Mean
-		if meas.Mean < bestT {
-			bestT = meas.Mean
+	for i, alg := range algs {
+		t := measured[i].Meas.Mean
+		res.Times[alg] = t
+		if t < bestT {
+			bestT = t
 			res.Best = alg
 		}
 	}

@@ -320,7 +320,10 @@ func JarqueBera(xs []float64) (statistic, pvalue float64) {
 // LogSpace returns n values from lo to hi (inclusive) separated by a
 // constant step in logarithmic scale, exactly as the paper spaces its
 // message sizes ("log m_{i-1} - log m_i = const"). lo and hi must be
-// positive and n >= 2.
+// positive and n >= 2; a degenerate request (n <= 1 or a non-positive
+// bound) falls back to the single-point grid [lo], which cannot cover
+// hi — callers offering n as a knob must validate it themselves, as
+// cmd/bcastbench does.
 func LogSpace(lo, hi float64, n int) []float64 {
 	if n <= 1 || lo <= 0 || hi <= 0 {
 		return []float64{lo}

@@ -53,7 +53,22 @@ type (
 	MeasureSettings = experiment.Settings
 	// Models bundles γ and per-algorithm Hockney parameters.
 	Models = model.BcastModels
+	// MeasurementCache is a content-addressed store of measurement
+	// results; attach one to CalibrationConfig.Cache to make repeated
+	// calibrations of the same platform skip already-measured grid
+	// points.
+	MeasurementCache = experiment.Cache
 )
+
+// NewMeasurementCache returns an in-memory measurement cache.
+func NewMeasurementCache() *MeasurementCache { return experiment.NewCache() }
+
+// NewDiskMeasurementCache returns a measurement cache persisted as JSON
+// files under dir (created if missing), shared across process
+// invocations.
+func NewDiskMeasurementCache(dir string) (*MeasurementCache, error) {
+	return experiment.NewDiskCache(dir)
+}
 
 // The six Open MPI 3.1 broadcast algorithms.
 const (
