@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race doccheck bench
+.PHONY: ci vet build test race doccheck bench benchpaper benchsmoke
 
-ci: vet build test race doccheck
+ci: vet build test race benchsmoke doccheck
 
 vet:
 	$(GO) vet ./...
@@ -20,10 +20,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Sweep-engine scaling and the per-artifact paper benchmarks.
+# Scheduler hot-path and sweep-engine benchmarks, recorded as
+# BENCH_sched.json (benchmark name -> ns/op, B/op, allocs/op) so the
+# numbers can be diffed mechanically across commits. The raw text goes
+# through a temp file, not a pipe, so a benchmark failure fails the
+# target.
 bench:
-	$(GO) test -bench=Sweep -benchmem ./internal/experiment/
+	$(GO) test -bench=Scheduler -benchmem -run='^$$' ./internal/mpi/ > .bench_sched.txt
+	$(GO) test -bench=Sweep -benchmem -run='^$$' ./internal/experiment/ >> .bench_sched.txt
+	$(GO) run ./cmd/benchjson < .bench_sched.txt > BENCH_sched.json
+	@rm -f .bench_sched.txt
+	@echo "wrote BENCH_sched.json"
+
+# The per-artifact paper benchmarks (tables and figures at reduced scale).
+benchpaper:
 	$(GO) test -bench=. -benchmem .
+
+# One iteration of every scheduler/sweep benchmark: catches benchmarks
+# that no longer compile or crash without paying for stable timings.
+benchsmoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./internal/mpi/ ./internal/experiment/
 
 # Every internal/* package must have a package comment: `go doc` prints
 # the comment starting on line 3 (line 1 is the package clause, line 2 is

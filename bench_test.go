@@ -102,6 +102,7 @@ func calibrated(b *testing.B, name string) model.BcastModels {
 // curves. The reported trad_mean_rel_err metric is the figure's message —
 // the textbook approach misses by a large factor.
 func BenchmarkFig1TraditionalVsMeasured(b *testing.B) {
+	b.ReportAllocs()
 	pr := benchProfile(b, "grisou")
 	for i := 0; i < b.N; i++ {
 		fig, err := tables.GenerateFig1(pr, benchProcs, benchSizes, benchSettings())
@@ -122,6 +123,7 @@ func BenchmarkFig1TraditionalVsMeasured(b *testing.B) {
 // ------------------------------------------------------------- Table 1
 
 func benchmarkTable1(b *testing.B, name string) {
+	b.ReportAllocs()
 	pr := benchProfile(b, name)
 	for i := 0; i < b.N; i++ {
 		res, err := estimate.Gamma(pr, benchSettings())
@@ -146,6 +148,7 @@ func BenchmarkTable1GammaGros(b *testing.B) { benchmarkTable1(b, "gros") }
 // (Table 2) for one algorithm on Grisou; the reported metrics are the
 // fitted parameters.
 func BenchmarkTable2AlphaBeta(b *testing.B) {
+	b.ReportAllocs()
 	pr := benchProfile(b, "grisou")
 	gr, err := estimate.Gamma(pr, benchSettings())
 	if err != nil {
@@ -169,6 +172,7 @@ func BenchmarkTable2AlphaBeta(b *testing.B) {
 // ----------------------------------------------------- Fig. 5 / Table 3
 
 func benchmarkSelection(b *testing.B, name string) {
+	b.ReportAllocs()
 	pr := benchProfile(b, name)
 	sel := selection.ModelBased{Models: calibrated(b, name)}
 	b.ResetTimer()
@@ -200,6 +204,7 @@ func BenchmarkTable3SelectionGros(b *testing.B) { benchmarkSelection(b, "gros") 
 // BenchmarkFig5SelectionCurves regenerates one Fig. 5 panel (time vs
 // message size for the three selectors).
 func BenchmarkFig5SelectionCurves(b *testing.B) {
+	b.ReportAllocs()
 	pr := benchProfile(b, "grisou")
 	sel := selection.ModelBased{Models: calibrated(b, "grisou")}
 	b.ResetTimer()
@@ -223,6 +228,7 @@ func BenchmarkFig5SelectionCurves(b *testing.B) {
 // model-based selection — the paper's claim that the decision is as cheap
 // as a hard-coded rule. Expect a few hundred nanoseconds.
 func BenchmarkModelBasedSelectionCost(b *testing.B) {
+	b.ReportAllocs()
 	sel := selection.ModelBased{Models: calibrated(b, "grisou")}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -234,6 +240,7 @@ func BenchmarkModelBasedSelectionCost(b *testing.B) {
 
 // BenchmarkOpenMPIFixedDecisionCost is the baseline decision cost.
 func BenchmarkOpenMPIFixedDecisionCost(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = selection.OpenMPIFixed(90, 1<<20)
 	}
@@ -242,6 +249,7 @@ func BenchmarkOpenMPIFixedDecisionCost(b *testing.B) {
 // BenchmarkCompiledTableLookupCost measures the compiled decision table —
 // the zero-floating-point deployment form of the model-based selector.
 func BenchmarkCompiledTableLookupCost(b *testing.B) {
+	b.ReportAllocs()
 	bm := calibrated(b, "grisou")
 	tab, err := decision.Compile(bm, decision.CompileConfig{MaxProcs: 96})
 	if err != nil {
@@ -259,6 +267,7 @@ func BenchmarkCompiledTableLookupCost(b *testing.B) {
 // table (allgather/allreduce/alltoall/reduce/gather/scatter/
 // reduce-scatter) and reports the worst model-pick degradation.
 func BenchmarkExtensionSelection(b *testing.B) {
+	b.ReportAllocs()
 	pr := benchProfile(b, "grisou")
 	for i := 0; i < b.N; i++ {
 		tab, err := tables.GenerateExtTable(pr, benchEstP, []int{4096, 262144}, benchSettings())
@@ -273,6 +282,7 @@ func BenchmarkExtensionSelection(b *testing.B) {
 // against the unsegmented binomial tree (time ratio < 1 means van de
 // Geijn wins, which it must at this size).
 func BenchmarkVanDeGeijnVsBinomial(b *testing.B) {
+	b.ReportAllocs()
 	cfg := cluster.Grisou().Net
 	cfg.Nodes = benchNodes
 	const m = 8 << 20
@@ -300,6 +310,7 @@ func BenchmarkVanDeGeijnVsBinomial(b *testing.B) {
 // ablationWorstDegradation runs the Table 3 selection with an alternative
 // model set and reports the worst degradation.
 func ablationWorstDegradation(b *testing.B, bm model.BcastModels) {
+	b.ReportAllocs()
 	pr := benchProfile(b, "grisou")
 	sel := selection.ModelBased{Models: bm}
 	b.ResetTimer()
@@ -366,6 +377,7 @@ func BenchmarkAblationNoGamma(b *testing.B) {
 // the measured binomial broadcast across the grid, and the reported
 // metrics are their mean relative errors.
 func BenchmarkAblationPaperBinomialFormula(b *testing.B) {
+	b.ReportAllocs()
 	pr := benchProfile(b, "grisou")
 	bm := calibrated(b, "grisou")
 	par := bm.Params[coll.BcastBinomial]
@@ -398,6 +410,7 @@ func BenchmarkAblationSegmentSize(b *testing.B) {
 	for _, seg := range []int{1024, 8192, 65536} {
 		seg := seg
 		b.Run(sizeName(seg), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				best := math.Inf(1)
 				for _, alg := range coll.BcastAlgorithms() {
@@ -445,6 +458,7 @@ func itoa(v int) string {
 // BenchmarkSimulatorTransmit measures the raw event rate of the network
 // simulator.
 func BenchmarkSimulatorTransmit(b *testing.B) {
+	b.ReportAllocs()
 	net, err := simnet.New(cluster.Grisou().Net)
 	if err != nil {
 		b.Fatal(err)
@@ -461,6 +475,7 @@ func BenchmarkSimulatorTransmit(b *testing.B) {
 // send/receive pair through the full runtime (goroutine lockstep
 // included).
 func BenchmarkRuntimePingPong(b *testing.B) {
+	b.ReportAllocs()
 	cfg := cluster.Grisou().Net
 	cfg.Nodes = 2
 	for i := 0; i < b.N; i++ {
@@ -483,6 +498,7 @@ func BenchmarkRuntimePingPong(b *testing.B) {
 // BenchmarkBcastBinomialP32 measures one full simulated binomial
 // broadcast of 1 MB over 32 ranks (≈ 4200 message events).
 func BenchmarkBcastBinomialP32(b *testing.B) {
+	b.ReportAllocs()
 	cfg := cluster.Grisou().Net
 	cfg.Nodes = 32
 	for i := 0; i < b.N; i++ {

@@ -11,13 +11,18 @@
 //
 //	bcastbench [-cluster grisou] [-np 90] [-algs binomial,binary] \
 //	           [-min 8192] [-max 4194304] [-points 10] [-seg 8192] \
-//	           [-workers 0] [-cache DIR]
+//	           [-workers 0] [-cache DIR] \
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -cpuprofile/-memprofile the tool records runtime/pprof profiles of
+// the sweep for `go tool pprof`; the heap profile is taken at exit.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -25,11 +30,12 @@ import (
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
 	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/profiling"
 	"mpicollperf/internal/stats"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bcastbench:", err)
 		os.Exit(1)
 	}
@@ -48,17 +54,32 @@ func sweepSizes(minM, maxM, points int) ([]int, error) {
 	return stats.LogSpaceBytes(minM, maxM, points), nil
 }
 
-func run() error {
-	clusterName := flag.String("cluster", "grisou", "cluster profile (grisou, gros)")
-	np := flag.Int("np", 0, "number of processes (default: whole cluster)")
-	algsFlag := flag.String("algs", "", "comma-separated algorithms (default: all six)")
-	minM := flag.Int("min", 8192, "smallest message size in bytes")
-	maxM := flag.Int("max", 4<<20, "largest message size in bytes")
-	points := flag.Int("points", 10, "number of log-spaced sizes (>= 2)")
-	seg := flag.Int("seg", 0, "segment size (default: the platform's 8 KB)")
-	workers := flag.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial)")
-	cacheDir := flag.String("cache", "", "reuse measurements from this directory (created if missing)")
-	flag.Parse()
+func run(args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("bcastbench", flag.ContinueOnError)
+	clusterName := fs.String("cluster", "grisou", "cluster profile (grisou, gros)")
+	np := fs.Int("np", 0, "number of processes (default: whole cluster)")
+	algsFlag := fs.String("algs", "", "comma-separated algorithms (default: all six)")
+	minM := fs.Int("min", 8192, "smallest message size in bytes")
+	maxM := fs.Int("max", 4<<20, "largest message size in bytes")
+	points := fs.Int("points", 10, "number of log-spaced sizes (>= 2)")
+	seg := fs.Int("seg", 0, "segment size (default: the platform's 8 KB)")
+	workers := fs.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial)")
+	cacheDir := fs.String("cache", "", "reuse measurements from this directory (created if missing)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	pr, err := cluster.ByName(*clusterName)
 	if err != nil {
@@ -114,8 +135,8 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("broadcast sweep on %s, P=%d, segment=%d B\n", pr.Name, *np, *seg)
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(out, "broadcast sweep on %s, P=%d, segment=%d B\n", pr.Name, *np, *seg)
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
 	fmt.Fprint(w, "m (bytes)")
 	for _, alg := range algs {
 		fmt.Fprintf(w, "\t%v (s)", alg)

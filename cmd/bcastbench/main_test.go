@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // TestSweepSizesRejectsSinglePoint is the regression test for the
 // -points 1 bug: stats.LogSpace returns just [lo] for n <= 1, so a
@@ -30,5 +35,40 @@ func TestSweepSizesRejectsInvertedRange(t *testing.T) {
 	}
 	if _, err := sweepSizes(0, 8192, 10); err == nil {
 		t.Error("non-positive min accepted")
+	}
+}
+
+// TestProfileFlagsWriteFiles runs a minimal sweep with both pprof flags
+// and checks the profile files come out non-empty — the whole point of
+// the flags is handing `go tool pprof` something to open.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run([]string{
+		"-np", "4", "-algs", "linear", "-min", "8192", "-max", "16384",
+		"-points", "2", "-workers", "1",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", filepath.Base(path))
+		}
+	}
+}
+
+// TestProfileFlagValidation: an unwritable profile path must fail before
+// any measurement runs.
+func TestProfileFlagValidation(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")
+	if err := run([]string{"-cpuprofile", bad}, io.Discard); err == nil {
+		t.Fatal("unwritable -cpuprofile path accepted")
 	}
 }

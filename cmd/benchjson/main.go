@@ -1,0 +1,101 @@
+// Command benchjson converts `go test -bench -benchmem` text on stdin
+// into a JSON object on stdout, mapping each benchmark name to its
+// ns/op, allocs/op, and B/op. The Makefile's bench target pipes the
+// scheduler and sweep benchmarks through it to produce BENCH_sched.json,
+// a machine-readable record that successive commits can diff:
+//
+//	go test -bench=Scheduler -benchmem ./internal/mpi/ | benchjson > BENCH_sched.json
+//
+// Benchmark lines keep their -cpu suffix (e.g. BenchmarkFoo-8) so runs
+// from machines with different core counts are not conflated. Non-bench
+// lines (PASS, ok, metric-only output) pass through untouched to stderr,
+// keeping failures visible when the pipe is part of a make target.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark's measured costs.
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out, echo io.Writer) error {
+	results := make(map[string]entry)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		name, e, ok := parseBenchLine(line)
+		if !ok {
+			fmt.Fprintln(echo, line)
+			continue
+		}
+		results[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	// encoding/json sorts map keys, so the artifact is diffable across runs.
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// parseBenchLine parses one line of `go test -bench` output, e.g.
+//
+//	BenchmarkSweep/workers=1-8  1  1009327810 ns/op  10987328 B/op  152610 allocs/op
+//
+// Value/unit pairs after the iteration count come in any order and any
+// subset (custom b.ReportMetric units are ignored).
+func parseBenchLine(line string) (string, entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", entry{}, false
+	}
+	e := entry{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", entry{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			e.NsPerOp = v
+			seen = true
+		case "allocs/op":
+			e.AllocsPerOp = v
+		case "B/op":
+			e.BytesPerOp = v
+		}
+	}
+	if !seen {
+		return "", entry{}, false
+	}
+	return fields[0], e, true
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mpicollperf/internal/mpi
+cpu: AMD EPYC
+BenchmarkSchedulerPingPong-8   	    2066	    573329 ns/op	      64 B/op	       3 allocs/op
+BenchmarkSchedulerFanIn-8      	     750	   1589651 ns/op	    2048 B/op	      65 allocs/op
+BenchmarkSweep/workers=1-8     	       1	1009327810 ns/op	        36.00 points/sweep	10987328 B/op	  152610 allocs/op
+PASS
+ok  	mpicollperf/internal/mpi	5.141s
+`
+
+func TestRunProducesJSON(t *testing.T) {
+	var out, echo bytes.Buffer
+	if err := run(strings.NewReader(sample), &out, &echo); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]entry
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	pp := got["BenchmarkSchedulerPingPong-8"]
+	if pp.NsPerOp != 573329 || pp.AllocsPerOp != 3 || pp.BytesPerOp != 64 || pp.Iterations != 2066 {
+		t.Errorf("ping-pong entry = %+v", pp)
+	}
+	sw := got["BenchmarkSweep/workers=1-8"]
+	if sw.NsPerOp != 1009327810 || sw.AllocsPerOp != 152610 {
+		t.Errorf("sweep entry = %+v", sw)
+	}
+	// Non-benchmark lines must be echoed, not swallowed.
+	if !strings.Contains(echo.String(), "PASS") || !strings.Contains(echo.String(), "goos: linux") {
+		t.Errorf("echo output missing pass-through lines: %q", echo.String())
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out, echo bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok x 1s\n"), &out, &echo); err == nil {
+		t.Fatal("input without benchmark lines accepted")
+	}
+}
+
+func TestParseBenchLineIgnoresCustomMetrics(t *testing.T) {
+	name, e, ok := parseBenchLine("BenchmarkX-4  10  5.5 ns/op  2.0 widgets/op")
+	if !ok || name != "BenchmarkX-4" || e.NsPerOp != 5.5 {
+		t.Fatalf("got %q %+v ok=%v", name, e, ok)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",                     // too few fields
+		"BenchmarkX notanint 5 ns/op",    // bad iteration count
+		"BenchmarkX 10 5 widgets/op x y", // no ns/op at all
+		"ok  pkg 1.2s",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q parsed as a benchmark", line)
+		}
+	}
+}

@@ -11,12 +11,17 @@
 // Usage:
 //
 //	fitparams [-cluster grisou] [-procs 40] [-save grisou.json] \
-//	          [-workers 0] [-cache DIR]
+//	          [-workers 0] [-cache DIR] \
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -cpuprofile/-memprofile the tool records runtime/pprof profiles of
+// the calibration for `go tool pprof`; the heap profile is taken at exit.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
@@ -25,22 +30,38 @@ import (
 	"mpicollperf/internal/core"
 	"mpicollperf/internal/estimate"
 	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/profiling"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fitparams:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	clusterName := flag.String("cluster", "grisou", "cluster profile (grisou, gros)")
-	procs := flag.Int("procs", 0, "processes for the α/β experiments (default: half the cluster)")
-	save := flag.String("save", "", "write the calibration to this JSON file")
-	workers := flag.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial)")
-	cacheDir := flag.String("cache", "", "reuse measurements from this directory (created if missing)")
-	flag.Parse()
+func run(args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("fitparams", flag.ContinueOnError)
+	clusterName := fs.String("cluster", "grisou", "cluster profile (grisou, gros)")
+	procs := fs.Int("procs", 0, "processes for the α/β experiments (default: half the cluster)")
+	save := fs.String("save", "", "write the calibration to this JSON file")
+	workers := fs.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial)")
+	cacheDir := fs.String("cache", "", "reuse measurements from this directory (created if missing)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the calibration to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	pr, err := cluster.ByName(*clusterName)
 	if err != nil {
@@ -67,8 +88,8 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("calibration of %s (segment size %d B)\n\n", pr.Name, pr.SegmentSize)
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(out, "calibration of %s (segment size %d B)\n\n", pr.Name, pr.SegmentSize)
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "P\tgamma(P)\treps\tCI rel err")
 	for p := 2; p <= pr.MaxLinearFanout; p++ {
 		meas := sel.GammaDetail.Measurements[p]
@@ -87,7 +108,7 @@ func run() error {
 		if err := sel.SaveModels(*save); err != nil {
 			return err
 		}
-		fmt.Printf("\ncalibration written to %s\n", *save)
+		fmt.Fprintf(out, "\ncalibration written to %s\n", *save)
 	}
 	return nil
 }

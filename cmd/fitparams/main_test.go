@@ -1,0 +1,24 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+// The calibration itself is exercised end to end elsewhere (core tests,
+// the CLI integration test of cmd/mpicollperf); these tests cover the
+// flag surface, which must reject bad inputs before any measuring starts.
+
+func TestRejectsUnknownCluster(t *testing.T) {
+	if err := run([]string{"-cluster", "nonesuch"}, io.Discard); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+}
+
+func TestProfileFlagValidation(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof")
+	if err := run([]string{"-memprofile", bad}, io.Discard); err == nil {
+		t.Fatal("unwritable -memprofile path accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// Golden determinism tests: the scheduler's virtual timings are part of
+// the repository's contract — every calibration table and selection
+// decision is derived from them — so they are pinned here to seed-era
+// values, bit for bit. Any scheduler, simulator, or sweep-engine change
+// that shifts these constants is a behavioural regression even if every
+// other test still passes.
+package mpicollperf
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/mpi"
+)
+
+// goldenProfile is Grisou restricted to a 16-node noisy cluster
+// (NoiseAmplitude 0.03, NoiseSeed 1001 — the profile's own values).
+func goldenProfile(t *testing.T) cluster.Profile {
+	t.Helper()
+	pr, err := cluster.Grisou().WithNodes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// goldenBcast pins the exact MakeSpan (hex float: bit-identical, no
+// rounding slop) and transfer count of one 1 MiB broadcast per algorithm,
+// captured at the seed-era scheduler.
+var goldenBcast = []struct {
+	alg       coll.BcastAlgorithm
+	makeSpan  float64
+	transfers int64
+}{
+	{coll.BcastLinear, 0x1.c07afec14849cp-07, 15},
+	{coll.BcastChain, 0x1.07d915ba9807p-09, 1920},
+	{coll.BcastKChain, 0x1.fdd95d0b1454ap-09, 1920},
+	{coll.BcastBinary, 0x1.1ec443cb22a98p-09, 1920},
+	{coll.BcastSplitBinary, 0x1.3c3ff8a20aefap-09, 975},
+	{coll.BcastBinomial, 0x1.fbe9c0d540dfap-09, 1920},
+}
+
+// goldenSweepMeans pins the adaptive-measurement means of the full
+// six-algorithm grid at three sizes (same platform, Settings{0.95, 0.025,
+// 3, 10, 1}), in grid order: sizes-major over {8 KiB, 128 KiB, 1 MiB}.
+var goldenSweepMeans = []float64{
+	0x1.42c88478723bap-13, 0x1.dd7372df1acc4p-11, 0x1.0ca02beebee9bp-12,
+	0x1.fd5ab5dc9feabp-13, 0x1.fd5ab5dc9feabp-13, 0x1.fd4a96f15ffe3p-13,
+	0x1.cac9f825bb175p-10, 0x1.110a367538c31p-10, 0x1.672b3c2e5cb68p-11,
+	0x1.efbf45faeadb5p-12, 0x1.e5708b39e80fbp-12, 0x1.603c2d248cd85p-11,
+	0x1.bfe4c1d59cf1bp-07, 0x1.07e28612a52a7p-09, 0x1.fdd38d2a5d4fdp-09,
+	0x1.1edf870e95c49p-09, 0x1.3bc0bbba1c176p-09, 0x1.fc4bb21d923b8p-09,
+}
+
+// TestGoldenBcastDeterminism asserts that MakeSpan and Transfers of every
+// broadcast algorithm are bit-identical to the pinned seed-era values,
+// under both a single OS thread and real parallelism — the virtual
+// timings must not depend on the Go scheduler.
+func TestGoldenBcastDeterminism(t *testing.T) {
+	pr := goldenProfile(t)
+	for _, gomaxprocs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("GOMAXPROCS=%d", gomaxprocs), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(gomaxprocs))
+			for _, g := range goldenBcast {
+				res, err := mpi.Run(pr.Net, 16, func(p *mpi.Proc) error {
+					coll.Bcast(p, g.alg, 0, coll.Synthetic(1<<20), pr.SegmentSize)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.MakeSpan != g.makeSpan {
+					t.Errorf("%v: MakeSpan = %x, golden %x", g.alg, res.MakeSpan, g.makeSpan)
+				}
+				if res.Transfers != g.transfers {
+					t.Errorf("%v: Transfers = %d, golden %d", g.alg, res.Transfers, g.transfers)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenSweepDeterminism asserts that the sweep engine reproduces the
+// pinned per-point means bit-identically regardless of worker count —
+// worker-local Runner reuse and scheduling order must not leak into the
+// measurements.
+func TestGoldenSweepDeterminism(t *testing.T) {
+	pr := goldenProfile(t)
+	set := experiment.Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 10, Warmup: 1}
+	grid := experiment.BcastGrid(16, coll.BcastAlgorithms(), []int{8192, 131072, 1 << 20}, pr.SegmentSize)
+	if len(grid) != len(goldenSweepMeans) {
+		t.Fatalf("grid size %d != golden table %d", len(grid), len(goldenSweepMeans))
+	}
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			sw := experiment.Sweep{Profile: pr, Settings: set, Workers: workers}
+			results, err := sw.Run(context.Background(), grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range results {
+				if r.Meas.Mean != goldenSweepMeans[i] {
+					t.Errorf("point %v: mean = %x, golden %x", r.Point, r.Meas.Mean, goldenSweepMeans[i])
+				}
+			}
+		})
+	}
+}

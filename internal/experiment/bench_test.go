@@ -37,6 +37,7 @@ func BenchmarkSweep(b *testing.B) {
 	pr, grid := benchGrid(b)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			sw := Sweep{Profile: pr, Settings: benchSweepSettings(), Workers: workers}
 			b.ReportMetric(float64(len(grid)), "points/sweep")
 			for i := 0; i < b.N; i++ {
@@ -52,6 +53,7 @@ func BenchmarkSweep(b *testing.B) {
 // from the in-memory cache. The delta against BenchmarkSweep is what the
 // cache saves a repeated pipeline stage (fitparams then decisiongen).
 func BenchmarkSweepCached(b *testing.B) {
+	b.ReportAllocs()
 	pr, grid := benchGrid(b)
 	sw := Sweep{Profile: pr, Settings: benchSweepSettings(), Cache: NewCache()}
 	if _, err := sw.Run(context.Background(), grid); err != nil {

@@ -97,12 +97,21 @@ type Op func(p *mpi.Proc)
 // a barrier that the others read strictly after (the runtime's scheduler
 // provides the necessary happens-before edges).
 func Measure(net *simnet.Network, nprocs int, set Settings, mode Mode, op Op) (Measurement, error) {
+	return MeasureOn(mpi.NewRunnerOn(net, mpi.Options{}), nprocs, set, mode, op)
+}
+
+// MeasureOn is Measure on a reusable Runner: callers measuring many
+// points on the same platform (the sweep engine, the calibration loops)
+// keep one warm Runner per worker instead of rebuilding scheduler state
+// for every point. Results are bit-identical to Measure on the Runner's
+// network.
+func MeasureOn(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (Measurement, error) {
 	set = set.withDefaults()
 	var (
 		meas Measurement
 		stop bool
 	)
-	_, err := mpi.RunOn(net, nprocs, func(p *mpi.Proc) error {
+	_, err := r.Run(nprocs, func(p *mpi.Proc) error {
 		root := p.Rank() == 0
 		// Calibrate the (deterministic) barrier cost.
 		p.Barrier()
@@ -140,7 +149,7 @@ func Measure(net *simnet.Network, nprocs int, set Settings, mode Mode, op Op) (M
 				return nil
 			}
 		}
-	}, mpi.Options{})
+	})
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -156,16 +165,33 @@ func Measure(net *simnet.Network, nprocs int, set Settings, mode Mode, op Op) (M
 // given segment size, in Completion mode (the time until every rank holds
 // the message, which is what the paper's comparison figures plot).
 func MeasureBcast(pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize int, set Settings) (Measurement, error) {
-	net, err := pr.Network()
+	r, err := newProfileRunner(pr)
 	if err != nil {
 		return Measurement{}, err
 	}
+	return MeasureBcastOn(r, pr, nprocs, alg, m, segSize, set)
+}
+
+// MeasureBcastOn is MeasureBcast on a reusable Runner built from pr (see
+// newProfileRunner); the sweep engine keeps one warm Runner per worker.
+func MeasureBcastOn(r *mpi.Runner, pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize int, set Settings) (Measurement, error) {
 	if nprocs > pr.Nodes {
 		return Measurement{}, fmt.Errorf("experiment: %d procs exceed %s's %d nodes", nprocs, pr.Name, pr.Nodes)
 	}
-	return Measure(net, nprocs, set, Completion, func(p *mpi.Proc) {
+	return MeasureOn(r, nprocs, set, Completion, func(p *mpi.Proc) {
 		coll.Bcast(p, alg, 0, coll.Synthetic(m), segSize)
 	})
+}
+
+// newProfileRunner builds a reusable Runner on a fresh network of the
+// profile's full size, so one Runner serves every communicator size the
+// profile admits.
+func newProfileRunner(pr cluster.Profile) (*mpi.Runner, error) {
+	net, err := pr.Network()
+	if err != nil {
+		return nil, err
+	}
+	return mpi.NewRunnerOn(net, mpi.Options{}), nil
 }
 
 // MeasureBcastThenGather measures the paper's §4.2 communication
@@ -173,14 +199,20 @@ func MeasureBcast(pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, se
 // linear-without-synchronisation gather of mg bytes per rank onto the
 // root, timed on the root (the experiment starts and finishes there).
 func MeasureBcastThenGather(pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize, mg int, set Settings) (Measurement, error) {
-	net, err := pr.Network()
+	r, err := newProfileRunner(pr)
 	if err != nil {
 		return Measurement{}, err
 	}
+	return MeasureBcastThenGatherOn(r, pr, nprocs, alg, m, segSize, mg, set)
+}
+
+// MeasureBcastThenGatherOn is MeasureBcastThenGather on a reusable Runner
+// built from pr.
+func MeasureBcastThenGatherOn(r *mpi.Runner, pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize, mg int, set Settings) (Measurement, error) {
 	if nprocs > pr.Nodes {
 		return Measurement{}, fmt.Errorf("experiment: %d procs exceed %s's %d nodes", nprocs, pr.Name, pr.Nodes)
 	}
-	return Measure(net, nprocs, set, RootTime, func(p *mpi.Proc) {
+	return MeasureOn(r, nprocs, set, RootTime, func(p *mpi.Proc) {
 		coll.Bcast(p, alg, 0, coll.Synthetic(m), segSize)
 		if p.Rank() == 0 {
 			coll.Gather(p, coll.GatherLinearNoSync, 0, coll.Synthetic(mg*p.Size()), mg)

@@ -13,6 +13,7 @@ import (
 
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
+	"mpicollperf/internal/mpi"
 )
 
 // Kind selects which measurement a grid point runs.
@@ -88,12 +89,12 @@ type Progress func(done, total int, r Result)
 
 // Sweep runs a grid of measurement points over a bounded worker pool.
 //
-// Every point builds its own simnet.Network (profiles are immutable and
-// Network() returns a fresh simulator), so concurrent measurements share
-// no mutable state and the results are bit-identical to running the same
-// grid serially — the scheduler inside each simulated MPI run, the noise
-// stream, and the adaptive repetition loop are all per-measurement
-// deterministic.
+// Every worker owns one reusable mpi.Runner (a private simulator plus
+// warm scheduler state, reset between points), so concurrent measurements
+// share no mutable state and the results are bit-identical to running the
+// same grid serially with a fresh simulator per point — the scheduler
+// inside each simulated MPI run, the noise stream, and the adaptive
+// repetition loop are all per-measurement deterministic.
 //
 // The zero value is not usable; Profile must be set. All other fields are
 // optional.
@@ -161,11 +162,16 @@ func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one reusable Runner (built lazily on its
+			// first uncached point) so consecutive grid points share warm
+			// scheduler state instead of rebuilding it; measurements stay
+			// bit-identical to fresh per-point simulators.
+			var runner *mpi.Runner
 			for i := range jobs {
 				if ctx.Err() != nil {
 					return
 				}
-				r, err := s.measure(points[i])
+				r, err := s.measure(points[i], &runner)
 				if err != nil {
 					fail(fmt.Errorf("sweep point %d (%v): %w", i, points[i], err))
 					return
@@ -201,8 +207,10 @@ feed:
 	return results, nil
 }
 
-// measure serves one point, through the cache when one is attached.
-func (s Sweep) measure(pt Point) (Result, error) {
+// measure serves one point, through the cache when one is attached. The
+// worker's Runner is created on the first measured point and reused for
+// the rest of that worker's share of the grid.
+func (s Sweep) measure(pt Point, runner **mpi.Runner) (Result, error) {
 	var key string
 	if s.Cache != nil {
 		key = cacheKey(s.Profile, pt, s.Settings)
@@ -210,15 +218,22 @@ func (s Sweep) measure(pt Point) (Result, error) {
 			return Result{Point: pt, Meas: m, Cached: true}, nil
 		}
 	}
+	if *runner == nil {
+		r, err := newProfileRunner(s.Profile)
+		if err != nil {
+			return Result{}, err
+		}
+		*runner = r
+	}
 	var (
 		m   Measurement
 		err error
 	)
 	switch pt.Kind {
 	case PointBcast:
-		m, err = MeasureBcast(s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, s.Settings)
+		m, err = MeasureBcastOn(*runner, s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, s.Settings)
 	case PointBcastThenGather:
-		m, err = MeasureBcastThenGather(s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, pt.GatherBytes, s.Settings)
+		m, err = MeasureBcastThenGatherOn(*runner, s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, pt.GatherBytes, s.Settings)
 	default:
 		err = fmt.Errorf("experiment: unknown point kind %v", pt.Kind)
 	}

@@ -20,14 +20,17 @@
 // every algorithm actually delivers the root's buffer — or may be synthetic
 // (nil payload with an explicit size) so that large performance sweeps do
 // not pay for memcpy.
+//
+// The runtime is built for measurement-sweep throughput: a Runner keeps
+// one scheduler and one network alive across runs, and the per-operation
+// path of a warm Runner — submit, schedule, match, resume — performs no
+// heap allocations (request and operation objects are recycled through
+// freelists, and all scheduler queues retain their capacity).
 package mpi
 
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
-	"strings"
 
 	"mpicollperf/internal/simnet"
 )
@@ -52,6 +55,11 @@ type Result struct {
 
 // Request is the handle of a non-blocking operation. It is owned by the
 // rank that created it and must only be waited on by that rank.
+//
+// Like an MPI_Request, a handle is dead once it has been waited on: the
+// runtime recycles waited requests into the owning rank's freelist, and
+// the next Isend or Irecv by that rank may reuse the object. Reading
+// Bytes is valid between the wait and the owner's next operation.
 type Request struct {
 	owner    int
 	isRecv   bool
@@ -62,7 +70,9 @@ type Request struct {
 }
 
 // Bytes returns the size of the received message. It is only meaningful
-// for receive requests after they have been waited on.
+// for receive requests after they have been waited on, and must be read
+// before the owning rank posts another operation (which may recycle the
+// handle).
 func (r *Request) Bytes() int { return r.bytes }
 
 // Proc is a rank's handle to the runtime. All methods must be called from
@@ -76,6 +86,13 @@ type Proc struct {
 	resume chan reply
 	clock  float64
 	seq    int64
+
+	// reqFree recycles waited-on requests; it persists across the runs of
+	// a Runner, so a warm rank allocates no request objects.
+	reqFree []*Request
+	// waitBuf backs the single-request Wait fast path, avoiding the
+	// variadic slice allocation of WaitAll.
+	waitBuf [1]*Request
 }
 
 // Rank returns this process's rank in 0..Size()-1.
@@ -93,6 +110,17 @@ func (p *Proc) Sleep(d float64) {
 		panic(fmt.Errorf("mpi: rank %d: negative sleep %v", p.rank, d))
 	}
 	p.submit(operation{kind: opSleep, dur: d})
+}
+
+// newRequest takes a request from the rank's freelist, or allocates one.
+func (p *Proc) newRequest(isRecv bool) *Request {
+	if n := len(p.reqFree); n > 0 {
+		r := p.reqFree[n-1]
+		p.reqFree = p.reqFree[:n-1]
+		*r = Request{owner: p.rank, isRecv: isRecv}
+		return r
+	}
+	return &Request{owner: p.rank, isRecv: isRecv}
 }
 
 // Isend posts a non-blocking send of data to rank dst with the given tag
@@ -116,7 +144,7 @@ func (p *Proc) Isend(dst, tag int, data []byte, size int) *Request {
 		payload = make([]byte, len(data))
 		copy(payload, data)
 	}
-	req := &Request{owner: p.rank}
+	req := p.newRequest(false)
 	p.submit(operation{kind: opIsend, peer: dst, tag: tag, data: payload, bytes: size, req: req})
 	return req
 }
@@ -126,18 +154,25 @@ func (p *Proc) Isend(dst, tag int, data []byte, size int) *Request {
 // must fit; a nil buf accepts a message of any size without copying.
 func (p *Proc) Irecv(src, tag int, buf []byte) *Request {
 	p.checkPeer(src, "Irecv")
-	req := &Request{owner: p.rank, isRecv: true}
+	req := p.newRequest(true)
 	p.submit(operation{kind: opIrecv, peer: src, tag: tag, data: buf, req: req})
 	return req
 }
 
 // Wait blocks until the request completes, advancing the rank's clock to
 // the completion time.
-func (p *Proc) Wait(r *Request) { p.WaitAll(r) }
+func (p *Proc) Wait(r *Request) {
+	p.waitBuf[0] = r
+	p.waitAll(p.waitBuf[:1])
+	p.waitBuf[0] = nil
+}
 
 // WaitAll blocks until every request completes, advancing the rank's clock
-// to the latest completion time. Requests may be waited on only once.
-func (p *Proc) WaitAll(rs ...*Request) {
+// to the latest completion time. Requests may be waited on only once;
+// after the wait returns, the handles are recycled and must not be reused.
+func (p *Proc) WaitAll(rs ...*Request) { p.waitAll(rs) }
+
+func (p *Proc) waitAll(rs []*Request) {
 	for _, r := range rs {
 		if r == nil {
 			panic(fmt.Errorf("mpi: rank %d: wait on nil request", p.rank))
@@ -152,6 +187,7 @@ func (p *Proc) WaitAll(rs ...*Request) {
 	p.submit(operation{kind: opWait, reqs: rs})
 	for _, r := range rs {
 		r.consumed = true
+		p.reqFree = append(p.reqFree, r)
 	}
 }
 
@@ -234,6 +270,9 @@ type operation struct {
 	rank  int
 	clock float64
 	seq   int64
+	// key is the cached schedule key, set by pushPending when the
+	// operation enters the pending heap (see scheduleKey).
+	key float64
 	// isend / irecv
 	peer  int
 	tag   int
@@ -273,20 +312,10 @@ func Run(cfg simnet.Config, nprocs int, fn func(*Proc) error) (Result, error) {
 }
 
 // RunOn is Run on an existing network (which is Reset first), with options.
+// Callers running many programs back to back should prefer a Runner, which
+// additionally reuses all scheduler state between runs.
 func RunOn(net *simnet.Network, nprocs int, fn func(*Proc) error, opts Options) (Result, error) {
-	if nprocs < 1 {
-		return Result{}, fmt.Errorf("mpi: nprocs = %d, need >= 1", nprocs)
-	}
-	if nprocs > net.Nodes() {
-		return Result{}, fmt.Errorf("mpi: nprocs %d exceeds cluster size %d", nprocs, net.Nodes())
-	}
-	net.Reset()
-	s := newScheduler(net, nprocs, opts)
-	for r := 0; r < nprocs; r++ {
-		p := &Proc{rank: r, size: nprocs, sched: s, resume: s.resumes[r]}
-		go runRank(p, fn)
-	}
-	return s.loop()
+	return NewRunnerOn(net, opts).Run(nprocs, fn)
 }
 
 // runRank wraps a rank function, converting panics (including runtime
@@ -309,373 +338,4 @@ func runRank(p *Proc, fn func(*Proc) error) {
 		// No reply for exit; the goroutine is done.
 	}()
 	exitErr = fn(p)
-}
-
-// scheduler is the deterministic coordinator. It owns all mutable state;
-// rank goroutines only touch it through the ops channel.
-type scheduler struct {
-	net     *simnet.Network
-	nprocs  int
-	opts    Options
-	ops     chan operation
-	resumes []chan reply
-
-	// running counts ranks currently executing user code (they will submit
-	// exactly one operation each before the scheduler may proceed).
-	running int
-	live    int
-
-	pending   []*operation // schedulable ops, one per rank at most
-	blocked   []*operation // waits whose requests are not all bound
-	inBarrier []*operation // ranks parked in the current barrier
-
-	// match holds per-destination message matching state.
-	match []*matchState
-
-	finish  []float64
-	failErr error
-	aborted bool
-}
-
-// matchState is the matching engine for one destination rank.
-type matchState struct {
-	// posted receives and unexpected messages, keyed by (src, tag), each
-	// FIFO — this provides the MPI non-overtaking guarantee.
-	posted     map[matchKey][]*operation
-	unexpected map[matchKey][]inFlight
-}
-
-type matchKey struct{ src, tag int }
-
-type inFlight struct {
-	data      []byte
-	bytes     int
-	delivered float64
-}
-
-func newScheduler(net *simnet.Network, nprocs int, opts Options) *scheduler {
-	s := &scheduler{
-		net:     net,
-		nprocs:  nprocs,
-		opts:    opts,
-		ops:     make(chan operation, nprocs),
-		resumes: make([]chan reply, nprocs),
-		running: nprocs,
-		live:    nprocs,
-		match:   make([]*matchState, nprocs),
-		finish:  make([]float64, nprocs),
-	}
-	for i := range s.resumes {
-		s.resumes[i] = make(chan reply, 1)
-		s.match[i] = &matchState{
-			posted:     make(map[matchKey][]*operation),
-			unexpected: make(map[matchKey][]inFlight),
-		}
-	}
-	return s
-}
-
-// loop runs the simulation to completion.
-func (s *scheduler) loop() (Result, error) {
-	for s.live > 0 {
-		// Lockstep: wait until every live, unparked rank has submitted its
-		// next operation, so min-clock selection sees the full frontier.
-		for s.running > 0 {
-			op := <-s.ops
-			s.running--
-			s.admit(op)
-		}
-		if s.live == 0 {
-			break
-		}
-		op := s.takeNext()
-		if op == nil {
-			s.abort(s.deadlockError())
-			continue
-		}
-		s.process(op)
-	}
-	if s.failErr != nil {
-		return Result{}, s.failErr
-	}
-	res := Result{FinishTimes: s.finish, Transfers: s.net.Transfers()}
-	for _, t := range s.finish {
-		res.MakeSpan = math.Max(res.MakeSpan, t)
-	}
-	return res, nil
-}
-
-// admit routes a freshly submitted operation to the right queue.
-func (s *scheduler) admit(op operation) {
-	o := &op
-	switch op.kind {
-	case opExit:
-		s.live--
-		s.finish[op.rank] = op.clock
-		if op.err != nil && !errors.Is(op.err, errAborted) && s.failErr == nil {
-			s.failErr = fmt.Errorf("rank %d: %w", op.rank, op.err)
-		}
-		if op.err != nil && !s.aborted {
-			s.abortLater()
-		}
-	case opBarrier:
-		if s.aborted {
-			s.release(o.rank, reply{abort: true})
-			return
-		}
-		if s.live < s.nprocs {
-			s.abort(fmt.Errorf("mpi: rank %d entered a barrier after another rank already exited", o.rank))
-			s.release(o.rank, reply{abort: true})
-			return
-		}
-		s.inBarrier = append(s.inBarrier, o)
-		s.maybeReleaseBarrier()
-	case opWait:
-		if s.aborted {
-			s.release(o.rank, reply{abort: true})
-			return
-		}
-		if allBound(o.reqs) {
-			s.pending = append(s.pending, o)
-		} else {
-			s.blocked = append(s.blocked, o)
-		}
-	default:
-		if s.aborted {
-			s.release(o.rank, reply{abort: true})
-			return
-		}
-		s.pending = append(s.pending, o)
-	}
-}
-
-func allBound(rs []*Request) bool {
-	for _, r := range rs {
-		if !r.bound {
-			return false
-		}
-	}
-	return true
-}
-
-// scheduleKey returns the virtual time at which processing op takes effect,
-// used for min-clock selection.
-func scheduleKey(op *operation) float64 {
-	if op.kind == opWait {
-		t := op.clock
-		for _, r := range op.reqs {
-			if r.at > t {
-				t = r.at
-			}
-		}
-		return t
-	}
-	return op.clock
-}
-
-// takeNext removes and returns the pending operation with the smallest
-// schedule key (ties: lowest rank, then submission order). It returns nil
-// when nothing is schedulable.
-func (s *scheduler) takeNext() *operation {
-	best := -1
-	for i, op := range s.pending {
-		if best < 0 {
-			best = i
-			continue
-		}
-		b := s.pending[best]
-		ki, kb := scheduleKey(op), scheduleKey(b)
-		if ki < kb || (ki == kb && (op.rank < b.rank || (op.rank == b.rank && op.seq < b.seq))) {
-			best = i
-		}
-	}
-	if best < 0 {
-		return nil
-	}
-	op := s.pending[best]
-	s.pending = append(s.pending[:best], s.pending[best+1:]...)
-	return op
-}
-
-// process applies one operation's effects and resumes its rank.
-func (s *scheduler) process(op *operation) {
-	switch op.kind {
-	case opSleep:
-		s.release(op.rank, reply{clock: op.clock + op.dur})
-	case opWait:
-		s.release(op.rank, reply{clock: scheduleKey(op)})
-	case opIsend:
-		tr, err := s.net.Transmit(op.rank, op.peer, op.bytes, op.clock)
-		if err != nil {
-			s.abort(fmt.Errorf("rank %d: %w", op.rank, err))
-			s.release(op.rank, reply{abort: true})
-			return
-		}
-		op.req.bound = true
-		op.req.at = tr.SendComplete
-		s.deliver(op.rank, op.peer, op.tag, op.data, op.bytes, tr.Delivered)
-		if s.aborted {
-			s.release(op.rank, reply{abort: true})
-			return
-		}
-		s.release(op.rank, reply{clock: op.clock + s.net.Config().SendOverhead})
-	case opIrecv:
-		ms := s.match[op.rank]
-		key := matchKey{src: op.peer, tag: op.tag}
-		if q := ms.unexpected[key]; len(q) > 0 {
-			msg := q[0]
-			ms.unexpected[key] = q[1:]
-			if !s.bindRecv(op, msg) {
-				s.release(op.rank, reply{abort: true})
-				return
-			}
-		} else {
-			ms.posted[key] = append(ms.posted[key], op)
-		}
-		s.release(op.rank, reply{clock: op.clock})
-	default:
-		s.abort(fmt.Errorf("mpi: internal: unexpected op %v", op.kind))
-		s.release(op.rank, reply{abort: true})
-	}
-}
-
-// deliver matches an arriving message against the destination's posted
-// receives or stores it as unexpected.
-func (s *scheduler) deliver(src, dst, tag int, data []byte, bytes int, delivered float64) {
-	ms := s.match[dst]
-	key := matchKey{src: src, tag: tag}
-	if q := ms.posted[key]; len(q) > 0 {
-		recvOp := q[0]
-		ms.posted[key] = q[1:]
-		if !s.bindRecv(recvOp, inFlight{data: data, bytes: bytes, delivered: delivered}) {
-			return
-		}
-		s.wakeWaiters(recvOp.rank)
-		return
-	}
-	ms.unexpected[key] = append(ms.unexpected[key], inFlight{data: data, bytes: bytes, delivered: delivered})
-}
-
-// bindRecv completes a posted receive with a matched message. It reports
-// false if the run was aborted (truncation error).
-func (s *scheduler) bindRecv(recvOp *operation, msg inFlight) bool {
-	if recvOp.data != nil {
-		if msg.bytes > len(recvOp.data) {
-			s.failErr = fmt.Errorf("mpi: rank %d: message truncation: %d-byte message from %d (tag %d) into %d-byte buffer",
-				recvOp.rank, msg.bytes, recvOp.peer, recvOp.tag, len(recvOp.data))
-			s.abort(s.failErr)
-			return false
-		}
-		if msg.data != nil {
-			copy(recvOp.data, msg.data)
-		}
-	}
-	recvOp.req.bound = true
-	recvOp.req.at = math.Max(msg.delivered, recvOp.clock)
-	recvOp.req.bytes = msg.bytes
-	return true
-}
-
-// wakeWaiters promotes any blocked wait of the given rank whose requests
-// are now all bound.
-func (s *scheduler) wakeWaiters(rank int) {
-	for i := 0; i < len(s.blocked); i++ {
-		op := s.blocked[i]
-		if op.rank == rank && allBound(op.reqs) {
-			s.blocked = append(s.blocked[:i], s.blocked[i+1:]...)
-			s.pending = append(s.pending, op)
-			return // a rank has at most one in-flight operation
-		}
-	}
-}
-
-// maybeReleaseBarrier releases the barrier once every rank is in it.
-func (s *scheduler) maybeReleaseBarrier() {
-	if len(s.inBarrier) < s.nprocs {
-		return
-	}
-	t := 0.0
-	for _, op := range s.inBarrier {
-		t = math.Max(t, op.clock)
-	}
-	t += s.barrierCost()
-	for _, op := range s.inBarrier {
-		s.release(op.rank, reply{clock: t})
-	}
-	s.inBarrier = s.inBarrier[:0]
-}
-
-// barrierCost models a dissemination barrier: ceil(log2 P) rounds of a
-// zero-byte exchange.
-func (s *scheduler) barrierCost() float64 {
-	rounds := s.opts.BarrierRounds
-	if rounds <= 0 {
-		rounds = ceilLog2(s.nprocs)
-	}
-	cfg := s.net.Config()
-	return float64(rounds) * (cfg.SendOverhead + cfg.Latency + cfg.RecvOverhead)
-}
-
-func ceilLog2(n int) int {
-	r := 0
-	for v := 1; v < n; v <<= 1 {
-		r++
-	}
-	return r
-}
-
-// release resumes a rank's goroutine with the given reply.
-func (s *scheduler) release(rank int, rep reply) {
-	s.running++
-	s.resumes[rank] <- rep
-}
-
-// abortLater arranges for the run to unwind: every parked rank is released
-// with the abort flag, and all future operations are bounced.
-func (s *scheduler) abortLater() {
-	s.aborted = true
-	for _, op := range s.pending {
-		s.release(op.rank, reply{abort: true})
-	}
-	s.pending = s.pending[:0]
-	for _, op := range s.blocked {
-		s.release(op.rank, reply{abort: true})
-	}
-	s.blocked = s.blocked[:0]
-	for _, op := range s.inBarrier {
-		s.release(op.rank, reply{abort: true})
-	}
-	s.inBarrier = s.inBarrier[:0]
-}
-
-func (s *scheduler) abort(err error) {
-	if s.failErr == nil {
-		s.failErr = err
-	}
-	s.abortLater()
-}
-
-// deadlockError describes why no rank can make progress.
-func (s *scheduler) deadlockError() error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d rank(s) blocked", s.live)
-	var states []string
-	for _, op := range s.blocked {
-		pend := 0
-		for _, r := range op.reqs {
-			if !r.bound {
-				pend++
-			}
-		}
-		states = append(states, fmt.Sprintf("rank %d waiting on %d unmatched request(s) at t=%.9f", op.rank, pend, op.clock))
-	}
-	for _, op := range s.inBarrier {
-		states = append(states, fmt.Sprintf("rank %d in barrier at t=%.9f", op.rank, op.clock))
-	}
-	sort.Strings(states)
-	for _, st := range states {
-		b.WriteString("; ")
-		b.WriteString(st)
-	}
-	return fmt.Errorf("%w: %s", ErrDeadlock, b.String())
 }

@@ -1,0 +1,75 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpicollperf/internal/simnet"
+)
+
+// Runner executes simulated MPI programs back to back on one network,
+// reusing the scheduler between runs. A fresh scheduler allocates its
+// channels, queues, and matching state on every Run/RunOn call; a Runner
+// pays that cost once, after which the steady-state per-operation path is
+// allocation-free (operations and requests come from freelists, and every
+// queue keeps its capacity). Measurement sweeps, which execute thousands
+// of short programs per grid point, are the intended caller.
+//
+// Runs on a Runner are bit-identical to Run/RunOn with the same network
+// configuration: the network is Reset before every run (ports idle, noise
+// stream reseeded), and scheduler reuse only recycles memory, never
+// timing state.
+//
+// A Runner is not safe for concurrent use; each worker goroutine should
+// own one. The number of ranks may vary from run to run (the scheduler
+// grows its per-rank structures as needed), bounded by the network size.
+type Runner struct {
+	net   *simnet.Network
+	opts  Options
+	sched *scheduler
+	procs []*Proc
+}
+
+// NewRunner builds a Runner with a fresh network from cfg.
+func NewRunner(cfg simnet.Config, opts Options) (*Runner, error) {
+	net, err := simnet.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewRunnerOn(net, opts), nil
+}
+
+// NewRunnerOn builds a Runner on an existing network, which every Run will
+// Reset. The caller must not use the network concurrently with the Runner.
+func NewRunnerOn(net *simnet.Network, opts Options) *Runner {
+	return &Runner{net: net, opts: opts, sched: &scheduler{}}
+}
+
+// Network returns the network the Runner executes on.
+func (r *Runner) Network() *simnet.Network { return r.net }
+
+// Run executes fn on nprocs ranks, like RunOn, reusing the Runner's warm
+// scheduler state.
+func (r *Runner) Run(nprocs int, fn func(*Proc) error) (Result, error) {
+	if nprocs < 1 {
+		return Result{}, fmt.Errorf("mpi: nprocs = %d, need >= 1", nprocs)
+	}
+	if nprocs > r.net.Nodes() {
+		return Result{}, fmt.Errorf("mpi: nprocs %d exceeds cluster size %d", nprocs, r.net.Nodes())
+	}
+	r.net.Reset()
+	s := r.sched
+	s.reset(r.net, nprocs, r.opts)
+	for len(r.procs) < nprocs {
+		r.procs = append(r.procs, &Proc{rank: len(r.procs)})
+	}
+	for i := 0; i < nprocs; i++ {
+		p := r.procs[i]
+		p.size = nprocs
+		p.sched = s
+		p.resume = s.resumes[i]
+		p.clock = 0
+		p.seq = 0
+		go runRank(p, fn)
+	}
+	return s.loop()
+}

@@ -1,0 +1,68 @@
+// Package profiling wires runtime/pprof into the command-line tools: one
+// Start call at the top of main turns -cpuprofile/-memprofile flags into
+// profile files that `go tool pprof` reads directly.
+//
+// The package exists so every tool validates and finalises profiles the
+// same way — profile files are created eagerly (a typo'd directory fails
+// at startup, not after a long sweep), and the returned stop function is
+// what actually makes them valid: a CPU profile is empty until
+// StopCPUProfile runs, and the heap profile is written only at stop time,
+// after a forced GC, so it reflects live memory at the end of the run.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges for a heap profile
+// to be written to memPath when the returned stop function runs. Either
+// path may be empty to skip that profile; with both empty, Start is a
+// no-op and stop still must be called (it returns nil).
+//
+// The stop function is not idempotent and must be called exactly once,
+// after the work being profiled — typically via defer in main. Its error
+// reports a failed heap-profile write.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+	}
+	var memFile *os.File
+	if memPath != "" {
+		memFile, err = os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memFile == nil {
+			return nil
+		}
+		defer memFile.Close()
+		// Materialise pending frees so the profile shows live objects, not
+		// garbage awaiting collection.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			return fmt.Errorf("profiling: write heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

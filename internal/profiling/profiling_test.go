@@ -1,0 +1,72 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have something to record.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1<<12))
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", filepath.Base(path))
+		}
+	}
+}
+
+func TestStartNoOp(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartMemOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("empty heap profile")
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), ""); err == nil {
+		t.Fatal("expected error for unwritable CPU profile path")
+	}
+	if _, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof")); err == nil {
+		t.Fatal("expected error for unwritable heap profile path")
+	}
+}

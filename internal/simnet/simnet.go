@@ -226,14 +226,16 @@ func (c Config) PointToPointTime(bytes int) float64 {
 
 // Reset returns all ports to idle at time zero and restarts the jitter
 // stream, so that consecutive experiments on the same Network are
-// independent and reproducible.
+// independent and reproducible. The existing generator is reseeded in
+// place — Reset allocates nothing, which matters inside measurement
+// sweeps that Reset once per repetition.
 func (n *Network) Reset() {
 	for i := range n.sendFree {
 		n.sendFree[i] = 0
 		n.recvFree[i] = 0
 	}
-	if n.cfg.NoiseAmplitude > 0 {
-		n.rng = rand.New(rand.NewSource(n.cfg.NoiseSeed))
+	if n.rng != nil {
+		n.rng.Seed(n.cfg.NoiseSeed)
 	}
 	n.nTx = 0
 }
