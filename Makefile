@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race doccheck bench benchpaper benchsmoke
+.PHONY: ci vet build test race doccheck bench benchdiff benchpaper benchsmoke fuzzseed
 
-ci: vet build test race benchsmoke doccheck
+ci: vet build test race benchsmoke fuzzseed doccheck
 
 vet:
 	$(GO) vet ./...
@@ -20,26 +20,49 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Scheduler hot-path and sweep-engine benchmarks, recorded as
-# BENCH_sched.json (benchmark name -> ns/op, B/op, allocs/op) so the
-# numbers can be diffed mechanically across commits. The raw text goes
-# through a temp file, not a pipe, so a benchmark failure fails the
-# target.
+# Hot-path and sweep-engine benchmarks, recorded twice: BENCH_sched.json
+# forces the scheduler engine (SWEEP_ENGINE=scheduler) and covers the
+# scheduler micro-benchmarks; BENCH_replay.json runs the same sweep
+# benchmarks under the default auto engine (plan capture + replay) plus
+# the replay micro-benchmarks. The sweep benchmark names are identical in
+# both files, so `benchjson -baseline` can diff them directly. The raw
+# text goes through a temp file, not a pipe, so a benchmark failure fails
+# the target.
 bench:
 	$(GO) test -bench=Scheduler -benchmem -run='^$$' ./internal/mpi/ > .bench_sched.txt
-	$(GO) test -bench=Sweep -benchmem -run='^$$' ./internal/experiment/ >> .bench_sched.txt
+	SWEEP_ENGINE=scheduler $(GO) test -bench=Sweep -benchmem -run='^$$' ./internal/experiment/ >> .bench_sched.txt
 	$(GO) run ./cmd/benchjson < .bench_sched.txt > BENCH_sched.json
 	@rm -f .bench_sched.txt
-	@echo "wrote BENCH_sched.json"
+	$(GO) test -bench=Replay -benchmem -run='^$$' ./internal/mpi/ > .bench_replay.txt
+	$(GO) test -bench=Sweep -benchmem -run='^$$' ./internal/experiment/ >> .bench_replay.txt
+	$(GO) run ./cmd/benchjson < .bench_replay.txt > BENCH_replay.json
+	@rm -f .bench_replay.txt
+	@echo "wrote BENCH_sched.json and BENCH_replay.json"
+
+# Regression gate: re-run the sweep benchmarks and compare against a
+# recorded baseline (default: the scheduler-engine record). Fails when
+# any benchmark's ns/op regresses by more than 20%.
+BASELINE ?= BENCH_sched.json
+benchdiff:
+	$(GO) test -bench=Sweep -benchmem -run='^$$' ./internal/experiment/ > .bench_diff.txt
+	$(GO) run ./cmd/benchjson -baseline $(BASELINE) < .bench_diff.txt
+	@rm -f .bench_diff.txt
 
 # The per-artifact paper benchmarks (tables and figures at reduced scale).
 benchpaper:
 	$(GO) test -bench=. -benchmem .
 
-# One iteration of every scheduler/sweep benchmark: catches benchmarks
-# that no longer compile or crash without paying for stable timings.
+# One iteration of every scheduler/replay/sweep benchmark: catches
+# benchmarks that no longer compile or crash without paying for stable
+# timings.
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./internal/mpi/ ./internal/experiment/
+
+# Run the fuzz targets over their seed corpus only (no fuzzing time):
+# each f.Add seed must keep the replay and scheduler engines
+# bit-identical.
+fuzzseed:
+	$(GO) test -run='^Fuzz' ./internal/experiment/
 
 # Every internal/* package must have a package comment: `go doc` prints
 # the comment starting on line 3 (line 1 is the package clause, line 2 is

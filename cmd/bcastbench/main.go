@@ -11,8 +11,14 @@
 //
 //	bcastbench [-cluster grisou] [-np 90] [-algs binomial,binary] \
 //	           [-min 8192] [-max 4194304] [-points 10] [-seg 8192] \
-//	           [-workers 0] [-cache DIR] \
+//	           [-workers 0] [-engine auto] [-cache DIR] \
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -engine selects how repetitions execute: auto (the default) captures
+// each point's execution plan and re-times repetitions with the replay
+// engine, falling back to the full scheduler when the structure is not
+// plan-stable; scheduler forces the slow path; replay forbids the
+// fallback. All three produce bit-identical measurements.
 //
 // With -cpuprofile/-memprofile the tool records runtime/pprof profiles of
 // the sweep for `go tool pprof`; the heap profile is taken at exit.
@@ -64,6 +70,7 @@ func run(args []string, out io.Writer) (err error) {
 	points := fs.Int("points", 10, "number of log-spaced sizes (>= 2)")
 	seg := fs.Int("seg", 0, "segment size (default: the platform's 8 KB)")
 	workers := fs.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial)")
+	engineFlag := fs.String("engine", "auto", "execution engine: auto (replay with scheduler fallback), scheduler, replay")
 	cacheDir := fs.String("cache", "", "reuse measurements from this directory (created if missing)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -112,9 +119,16 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}
 
+	engine, err := experiment.ParseEngine(*engineFlag)
+	if err != nil {
+		return err
+	}
+	set := experiment.DefaultSettings()
+	set.Engine = engine
+
 	sw := experiment.Sweep{
 		Profile:  pr,
-		Settings: experiment.DefaultSettings(),
+		Settings: set,
 		Workers:  *workers,
 		Progress: func(done, total int, r experiment.Result) {
 			fmt.Fprintf(os.Stderr, "\rmeasured %d/%d", done, total)

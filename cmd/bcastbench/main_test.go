@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -70,5 +71,30 @@ func TestProfileFlagValidation(t *testing.T) {
 	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")
 	if err := run([]string{"-cpuprofile", bad}, io.Discard); err == nil {
 		t.Fatal("unwritable -cpuprofile path accepted")
+	}
+}
+
+// TestEngineFlag: every engine produces byte-identical sweep output, and
+// an unknown engine name is rejected.
+func TestEngineFlag(t *testing.T) {
+	sweep := func(engine string) string {
+		var out strings.Builder
+		err := run([]string{
+			"-np", "6", "-min", "8192", "-max", "65536",
+			"-points", "2", "-workers", "1", "-engine", engine,
+		}, &out)
+		if err != nil {
+			t.Fatalf("-engine %s: %v", engine, err)
+		}
+		return out.String()
+	}
+	ref := sweep("scheduler")
+	for _, engine := range []string{"auto", "replay"} {
+		if got := sweep(engine); got != ref {
+			t.Errorf("-engine %s output differs from scheduler:\n%s\nvs\n%s", engine, got, ref)
+		}
+	}
+	if err := run([]string{"-engine", "warp"}, io.Discard); err == nil {
+		t.Fatal("unknown -engine accepted")
 	}
 }

@@ -1,10 +1,21 @@
 // Command benchjson converts `go test -bench -benchmem` text on stdin
 // into a JSON object on stdout, mapping each benchmark name to its
 // ns/op, allocs/op, and B/op. The Makefile's bench target pipes the
-// scheduler and sweep benchmarks through it to produce BENCH_sched.json,
-// a machine-readable record that successive commits can diff:
+// scheduler, replay, and sweep benchmarks through it to produce
+// BENCH_sched.json and BENCH_replay.json, machine-readable records that
+// successive commits can diff:
 //
 //	go test -bench=Scheduler -benchmem ./internal/mpi/ | benchjson > BENCH_sched.json
+//
+// With -baseline the tool compares instead of converting: the fresh
+// benchmark text on stdin is diffed against a previously recorded JSON
+// file, a per-benchmark delta table (ns/op, B/op, allocs/op) is printed
+// for every name present on both sides, and the exit status is non-zero
+// when any benchmark's ns/op regressed by more than -threshold (default
+// 0.20, i.e. 20%). The Makefile's benchdiff target uses this as a
+// performance gate:
+//
+//	go test -bench=Sweep -benchmem ./internal/experiment/ | benchjson -baseline BENCH_sched.json
 //
 // Benchmark lines keep their -cpu suffix (e.g. BenchmarkFoo-8) so runs
 // from machines with different core counts are not conflated. Non-bench
@@ -15,11 +26,14 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // entry is one benchmark's measured costs.
@@ -31,13 +45,24 @@ type entry struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout, os.Stderr); err != nil {
+	baseline := flag.String("baseline", "", "compare stdin against this JSON record instead of emitting JSON")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated ns/op regression (fraction) in -baseline mode")
+	flag.Parse()
+	var err error
+	if *baseline != "" {
+		err = compare(os.Stdin, os.Stdout, os.Stderr, *baseline, *threshold)
+	} else {
+		err = run(os.Stdin, os.Stdout, os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, out, echo io.Writer) error {
+// parse reads `go test -bench` text from in, echoing non-benchmark lines
+// to echo, and returns the benchmark entries by name.
+func parse(in io.Reader, echo io.Writer) (map[string]entry, error) {
 	results := make(map[string]entry)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -51,15 +76,115 @@ func run(in io.Reader, out, echo io.Writer) error {
 		results[name] = e
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	if len(results) == 0 {
-		return fmt.Errorf("no benchmark lines on stdin")
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return results, nil
+}
+
+func run(in io.Reader, out, echo io.Writer) error {
+	results, err := parse(in, echo)
+	if err != nil {
+		return err
 	}
 	// encoding/json sorts map keys, so the artifact is diffable across runs.
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// compare diffs fresh benchmark text on in against the JSON record at
+// baselineFile, printing per-benchmark deltas to out and returning an
+// error when any ns/op regression exceeds threshold.
+func compare(in io.Reader, out, echo io.Writer, baselineFile string, threshold float64) error {
+	base, err := readBaseline(baselineFile)
+	if err != nil {
+		return err
+	}
+	fresh, err := parse(in, echo)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmarks in common with %s", baselineFile)
+	}
+	sort.Strings(names)
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tns/op old\tns/op new\tdelta\tB/op\tallocs/op")
+	var regressed []string
+	for _, name := range names {
+		old, cur := base[name], fresh[name]
+		d := delta(old.NsPerOp, cur.NsPerOp)
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%s\t%s\n",
+			name, old.NsPerOp, cur.NsPerOp, formatDelta(d),
+			formatDelta(delta(old.BytesPerOp, cur.BytesPerOp)),
+			formatDelta(delta(old.AllocsPerOp, cur.AllocsPerOp)))
+		if d > threshold {
+			regressed = append(regressed, fmt.Sprintf("%s (%s)", name, formatDelta(d)))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	for _, name := range sortedMissing(fresh, base) {
+		fmt.Fprintf(out, "new (not in baseline): %s\n", name)
+	}
+	for _, name := range sortedMissing(base, fresh) {
+		fmt.Fprintf(out, "missing (baseline only): %s\n", name)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("ns/op regression beyond %.0f%%: %s",
+			threshold*100, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
+func readBaseline(path string) (map[string]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base map[string]entry
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("%s: empty baseline", path)
+	}
+	return base, nil
+}
+
+// sortedMissing returns the names in a that are absent from b, sorted.
+func sortedMissing(a, b map[string]entry) []string {
+	var names []string
+	for name := range a {
+		if _, ok := b[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// delta is the relative change from old to cur; 0 when old is 0 (nothing
+// meaningful to compare against, e.g. a benchmark without -benchmem).
+func delta(old, cur float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (cur - old) / old
+}
+
+func formatDelta(d float64) string {
+	return fmt.Sprintf("%+.1f%%", d*100)
 }
 
 // parseBenchLine parses one line of `go test -bench` output, e.g.

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -55,6 +57,105 @@ func TestParseBenchLineIgnoresCustomMetrics(t *testing.T) {
 	name, e, ok := parseBenchLine("BenchmarkX-4  10  5.5 ns/op  2.0 widgets/op")
 	if !ok || name != "BenchmarkX-4" || e.NsPerOp != 5.5 {
 		t.Fatalf("got %q %+v ok=%v", name, e, ok)
+	}
+}
+
+// writeBaseline runs the sample text through run() and saves the JSON to
+// a temp file, exactly as `make bench` produces a baseline.
+func writeBaseline(t *testing.T, benchText string) string {
+	t.Helper()
+	var out, echo bytes.Buffer
+	if err := run(strings.NewReader(benchText), &out, &echo); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReportsDeltas(t *testing.T) {
+	baseline := writeBaseline(t, sample)
+	improved := `BenchmarkSchedulerPingPong-8  2066  500000 ns/op  64 B/op  3 allocs/op
+BenchmarkSchedulerFanIn-8  750  1589651 ns/op  2048 B/op  65 allocs/op
+BenchmarkSweep/workers=1-8  2  500000000 ns/op  5000000 B/op  120000 allocs/op
+PASS
+`
+	var out, echo bytes.Buffer
+	if err := compare(strings.NewReader(improved), &out, &echo, baseline, 0.20); err != nil {
+		t.Fatalf("improved run flagged as regression: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"BenchmarkSweep/workers=1-8", "-50.5%", // ns/op improvement
+		"-12.8%", // ping-pong ns/op delta
+		"+0.0%",  // fan-in unchanged
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	baseline := writeBaseline(t, sample)
+	// Ping-pong 30% slower: beyond the 20% gate.
+	slower := `BenchmarkSchedulerPingPong-8  2066  745327 ns/op  64 B/op  3 allocs/op
+BenchmarkSchedulerFanIn-8  750  1589651 ns/op  2048 B/op  65 allocs/op
+`
+	var out, echo bytes.Buffer
+	err := compare(strings.NewReader(slower), &out, &echo, baseline, 0.20)
+	if err == nil {
+		t.Fatalf("30%% ns/op regression passed the 20%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSchedulerPingPong-8") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+	// The same run must pass with a 50% threshold.
+	out.Reset()
+	if err := compare(strings.NewReader(slower), &out, &echo, baseline, 0.50); err != nil {
+		t.Errorf("30%% regression failed a 50%% threshold: %v", err)
+	}
+}
+
+func TestCompareListsUnmatchedBenchmarks(t *testing.T) {
+	baseline := writeBaseline(t, sample)
+	renamed := `BenchmarkSchedulerPingPong-8  2066  573329 ns/op  64 B/op  3 allocs/op
+BenchmarkBrandNew-8  100  1000 ns/op  0 B/op  0 allocs/op
+`
+	var out, echo bytes.Buffer
+	if err := compare(strings.NewReader(renamed), &out, &echo, baseline, 0.20); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "new (not in baseline): BenchmarkBrandNew-8") {
+		t.Errorf("report missing new-benchmark note:\n%s", report)
+	}
+	if !strings.Contains(report, "missing (baseline only): BenchmarkSchedulerFanIn-8") {
+		t.Errorf("report missing baseline-only note:\n%s", report)
+	}
+}
+
+func TestCompareRejectsBadBaseline(t *testing.T) {
+	var out, echo bytes.Buffer
+	in := strings.NewReader("BenchmarkX-1 10 5 ns/op\n")
+	if err := compare(in, &out, &echo, filepath.Join(t.TempDir(), "absent.json"), 0.20); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in = strings.NewReader("BenchmarkX-1 10 5 ns/op\n")
+	if err := compare(in, &out, &echo, bad, 0.20); err == nil {
+		t.Error("malformed baseline accepted")
+	}
+	// Disjoint benchmark sets: nothing to compare is an error, not a pass.
+	disjoint := writeBaseline(t, "BenchmarkOther-1 10 5 ns/op\n")
+	in = strings.NewReader("BenchmarkX-1 10 5 ns/op\n")
+	if err := compare(in, &out, &echo, disjoint, 0.20); err == nil {
+		t.Error("disjoint benchmark sets accepted")
 	}
 }
 

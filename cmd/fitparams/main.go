@@ -11,8 +11,12 @@
 // Usage:
 //
 //	fitparams [-cluster grisou] [-procs 40] [-save grisou.json] \
-//	          [-workers 0] [-cache DIR] \
+//	          [-workers 0] [-engine auto] [-cache DIR] \
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -engine selects the measurement execution engine (auto, scheduler,
+// replay); all three produce bit-identical calibrations, with auto
+// re-timing repetitions from captured execution plans for speed.
 //
 // With -cpuprofile/-memprofile the tool records runtime/pprof profiles of
 // the calibration for `go tool pprof`; the heap profile is taken at exit.
@@ -46,6 +50,7 @@ func run(args []string, out io.Writer) (err error) {
 	procs := fs.Int("procs", 0, "processes for the α/β experiments (default: half the cluster)")
 	save := fs.String("save", "", "write the calibration to this JSON file")
 	workers := fs.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial)")
+	engineFlag := fs.String("engine", "auto", "execution engine: auto (replay with scheduler fallback), scheduler, replay")
 	cacheDir := fs.String("cache", "", "reuse measurements from this directory (created if missing)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the calibration to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -67,9 +72,15 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	engine, err := experiment.ParseEngine(*engineFlag)
+	if err != nil {
+		return err
+	}
+	set := experiment.DefaultSettings()
+	set.Engine = engine
 	cfg := estimate.AlphaBetaConfig{
 		Procs:    *procs,
-		Settings: experiment.DefaultSettings(),
+		Settings: set,
 		Workers:  *workers,
 		Progress: func(done, total int, r experiment.Result) {
 			fmt.Fprintf(os.Stderr, "\rmeasured %d/%d", done, total)

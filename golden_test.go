@@ -86,9 +86,11 @@ func TestGoldenBcastDeterminism(t *testing.T) {
 }
 
 // TestGoldenSweepDeterminism asserts that the sweep engine reproduces the
-// pinned per-point means bit-identically regardless of worker count —
-// worker-local Runner reuse and scheduling order must not leak into the
-// measurements.
+// pinned per-point means bit-identically regardless of worker count and
+// execution engine — worker-local Runner reuse, scheduling order, and the
+// plan-replay fast path must not leak into the measurements. The replay
+// engine is forced (no scheduler fallback) in its sub-tests, so the pinned
+// seed-era constants double as the replay engine's golden contract.
 func TestGoldenSweepDeterminism(t *testing.T) {
 	pr := goldenProfile(t)
 	set := experiment.Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 10, Warmup: 1}
@@ -96,18 +98,22 @@ func TestGoldenSweepDeterminism(t *testing.T) {
 	if len(grid) != len(goldenSweepMeans) {
 		t.Fatalf("grid size %d != golden table %d", len(grid), len(goldenSweepMeans))
 	}
-	for _, workers := range []int{1, 8} {
-		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			sw := experiment.Sweep{Profile: pr, Settings: set, Workers: workers}
-			results, err := sw.Run(context.Background(), grid)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for i, r := range results {
-				if r.Meas.Mean != goldenSweepMeans[i] {
-					t.Errorf("point %v: mean = %x, golden %x", r.Point, r.Meas.Mean, goldenSweepMeans[i])
+	for _, engine := range []experiment.Engine{experiment.EngineScheduler, experiment.EngineAuto, experiment.EngineReplay} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("engine=%v/workers=%d", engine, workers), func(t *testing.T) {
+				set := set
+				set.Engine = engine
+				sw := experiment.Sweep{Profile: pr, Settings: set, Workers: workers}
+				results, err := sw.Run(context.Background(), grid)
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-		})
+				for i, r := range results {
+					if r.Meas.Mean != goldenSweepMeans[i] {
+						t.Errorf("point %v: mean = %x, golden %x", r.Point, r.Meas.Mean, goldenSweepMeans[i])
+					}
+				}
+			})
+		}
 	}
 }

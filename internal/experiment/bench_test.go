@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	"mpicollperf/internal/cluster"
@@ -22,8 +23,21 @@ func benchGrid(b *testing.B) (cluster.Profile, []Point) {
 	return pr, BcastGrid(pr.Nodes, coll.BcastAlgorithms(), sizes, pr.SegmentSize)
 }
 
-func benchSweepSettings() Settings {
-	return Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 10, Warmup: 1}
+// benchSweepSettings honours the SWEEP_ENGINE environment variable
+// (scheduler, replay, auto) so `make bench` can record the same sweep
+// benchmarks under both execution engines — the names stay identical,
+// letting `benchjson -baseline` diff BENCH_replay.json against
+// BENCH_sched.json directly.
+func benchSweepSettings(b *testing.B) Settings {
+	set := Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 10, Warmup: 1}
+	if env := os.Getenv("SWEEP_ENGINE"); env != "" {
+		engine, err := ParseEngine(env)
+		if err != nil {
+			b.Fatalf("SWEEP_ENGINE: %v", err)
+		}
+		set.Engine = engine
+	}
+	return set
 }
 
 // BenchmarkSweep measures the wall-clock of the full six-algorithm Grisou
@@ -38,7 +52,7 @@ func BenchmarkSweep(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
-			sw := Sweep{Profile: pr, Settings: benchSweepSettings(), Workers: workers}
+			sw := Sweep{Profile: pr, Settings: benchSweepSettings(b), Workers: workers}
 			b.ReportMetric(float64(len(grid)), "points/sweep")
 			for i := 0; i < b.N; i++ {
 				if _, err := sw.Run(context.Background(), grid); err != nil {
@@ -55,7 +69,7 @@ func BenchmarkSweep(b *testing.B) {
 func BenchmarkSweepCached(b *testing.B) {
 	b.ReportAllocs()
 	pr, grid := benchGrid(b)
-	sw := Sweep{Profile: pr, Settings: benchSweepSettings(), Cache: NewCache()}
+	sw := Sweep{Profile: pr, Settings: benchSweepSettings(b), Cache: NewCache()}
 	if _, err := sw.Run(context.Background(), grid); err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/mpi"
+	"mpicollperf/internal/simnet"
+)
+
+// sameMeasurement fails the test unless two measurements are bit-identical
+// in every field, sample by sample.
+func sameMeasurement(t *testing.T, label string, a, b Measurement) {
+	t.Helper()
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("%s: %d vs %d samples", label, len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("%s: sample %d: %x vs %x", label, i, a.Samples[i], b.Samples[i])
+		}
+	}
+	if a.Mean != b.Mean || a.CI != b.CI || a.Reps != b.Reps || a.Converged != b.Converged ||
+		a.NormalityP != b.NormalityP || a.Lag1 != b.Lag1 {
+		t.Fatalf("%s: measurements differ\n%+v\n%+v", label, a, b)
+	}
+}
+
+// TestEngineReplayBitIdentical is the engine contract at full strength:
+// every broadcast algorithm, measured on the noisy Grisou profile with the
+// replay engine forced (no fallback allowed), must reproduce the
+// scheduler engine's measurement bit for bit.
+func TestEngineReplayBitIdentical(t *testing.T) {
+	pr := cluster.Grisou()
+	for _, alg := range coll.BcastAlgorithms() {
+		ms, err := MeasureBcast(pr, 16, alg, 65536, 8192, Settings{Engine: EngineScheduler})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := MeasureBcast(pr, 16, alg, 65536, 8192, Settings{Engine: EngineReplay})
+		if err != nil {
+			t.Fatalf("%v: replay: %v", alg, err)
+		}
+		sameMeasurement(t, alg.String(), ms, mr)
+	}
+}
+
+// TestEngineAutoFallsBackOnPayload: programs that move real payload bytes
+// cannot be echo-validated, so auto must quietly run them on the
+// scheduler — bit-identically — and the forced replay engine must refuse.
+func TestEngineAutoFallsBackOnPayload(t *testing.T) {
+	data := []byte("payload-bytes-for-engine-test")
+	op := func(p *mpi.Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 0, data, -1)
+		} else {
+			buf := make([]byte, len(data))
+			p.Recv(0, 0, buf)
+		}
+	}
+	run := func(e Engine) (Measurement, error) {
+		net, err := simnet.New(noisyConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := fastSettings()
+		set.Engine = e
+		return Measure(net, 2, set, Completion, op)
+	}
+	ms, err := run(EngineScheduler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := run(EngineAuto)
+	if err != nil {
+		t.Fatalf("auto engine failed on payload program: %v", err)
+	}
+	sameMeasurement(t, "payload fallback", ms, ma)
+	if _, err := run(EngineReplay); err == nil {
+		t.Fatal("forced replay engine accepted a payload-carrying program")
+	}
+}
+
+// TestEngineAutoFallsBackOnStructuralChange: a program whose operation
+// stream differs between invocations must be caught by the echo
+// validation — auto falls back to the scheduler, forced replay errors.
+func TestEngineAutoFallsBackOnStructuralChange(t *testing.T) {
+	run := func(e Engine) (Measurement, error) {
+		net, err := simnet.New(noisyConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var calls [2]int
+		op := func(p *mpi.Proc) {
+			r := p.Rank()
+			calls[r]++
+			if calls[r] > 1 && r == 0 {
+				p.Sleep(1e-6) // appears from the second invocation on
+			}
+			if r == 0 {
+				p.Send(1, 0, nil, 4096)
+			} else {
+				p.Recv(0, 0, nil)
+			}
+		}
+		set := fastSettings()
+		set.Engine = e
+		return Measure(net, 2, set, Completion, op)
+	}
+	if _, err := run(EngineAuto); err != nil {
+		t.Fatalf("auto engine failed to fall back: %v", err)
+	}
+	if _, err := run(EngineReplay); err == nil {
+		t.Fatal("forced replay engine accepted a structure-changing program")
+	}
+}
+
+// TestEngineAutoFallsBackOnMarkInOp: an op that calls Mark itself breaks
+// the harness's mark bracketing; auto must fall back, bit-identically.
+func TestEngineAutoFallsBackOnMarkInOp(t *testing.T) {
+	op := func(p *mpi.Proc) {
+		p.Mark()
+		if p.Rank() == 0 {
+			p.Send(1, 0, nil, 4096)
+		} else {
+			p.Recv(0, 0, nil)
+		}
+	}
+	run := func(e Engine) (Measurement, error) {
+		net, err := simnet.New(noisyConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := fastSettings()
+		set.Engine = e
+		return Measure(net, 2, set, Completion, op)
+	}
+	ms, err := run(EngineScheduler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := run(EngineAuto)
+	if err != nil {
+		t.Fatalf("auto engine failed on mark-calling op: %v", err)
+	}
+	sameMeasurement(t, "mark fallback", ms, ma)
+	if _, err := run(EngineReplay); err == nil {
+		t.Fatal("forced replay engine accepted a mark-calling op")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for s, want := range map[string]Engine{
+		"auto": EngineAuto, "scheduler": EngineScheduler, "replay": EngineReplay,
+	} {
+		e, err := ParseEngine(s)
+		if err != nil || e != want {
+			t.Errorf("ParseEngine(%q) = %v, %v", s, e, err)
+		}
+		if e.String() != s {
+			t.Errorf("%v.String() = %q, want %q", e, e.String(), s)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Error("ParseEngine accepted an unknown engine")
+	}
+}
+
+// FuzzReplayMatchesScheduler fuzzes the engine equivalence over cluster
+// shape, co-location, algorithm, message and segment size, and noise: for
+// any configuration, the auto engine (replay with fallback) must produce
+// a measurement bit-identical to the scheduler engine.
+func FuzzReplayMatchesScheduler(f *testing.F) {
+	f.Add(uint8(8), uint8(1), uint8(0), uint16(64), uint8(1), uint8(50), int64(1))
+	f.Add(uint8(16), uint8(2), uint8(3), uint16(256), uint8(2), uint8(30), int64(1001))
+	f.Add(uint8(5), uint8(1), uint8(5), uint16(8), uint8(0), uint8(0), int64(7))
+	f.Add(uint8(12), uint8(3), uint8(2), uint16(1024), uint8(1), uint8(80), int64(-3))
+	f.Add(uint8(3), uint8(2), uint8(1), uint16(1), uint8(3), uint8(10), int64(42))
+	f.Fuzz(func(t *testing.T, nodes, ppn, algIdx uint8, msgKB uint16, segSel, noiseMil uint8, seed int64) {
+		nprocs := 2 + int(nodes)%15 // 2..16
+		cfg := simnet.Config{
+			Nodes:        nprocs,
+			Latency:      20e-6,
+			ByteTimeSend: 1e-9,
+			ByteTimeRecv: 1e-9,
+			SendOverhead: 1e-6,
+			RecvOverhead: 1e-6,
+		}
+		if p := 1 + int(ppn)%3; p > 1 {
+			cfg.ProcsPerNode = p
+			cfg.IntraNodeLatency = 1e-6
+			cfg.IntraNodeByteTime = 1e-10
+		}
+		if amp := float64(noiseMil%101) / 1000; amp > 0 {
+			cfg.NoiseAmplitude = amp
+			cfg.NoiseSeed = seed
+		}
+		algs := coll.BcastAlgorithms()
+		alg := algs[int(algIdx)%len(algs)]
+		msg := 1024 * (1 + int(msgKB)%1024)
+		seg := []int{0, 8192, 16384, 65536}[int(segSel)%4]
+		set := Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 8, Warmup: 1}
+		op := func(p *mpi.Proc) {
+			coll.Bcast(p, alg, 0, coll.Synthetic(msg), seg)
+		}
+		run := func(e Engine) Measurement {
+			net, err := simnet.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := set
+			set.Engine = e
+			m, err := Measure(net, nprocs, set, Completion, op)
+			if err != nil {
+				t.Fatalf("engine %v: %v", e, err)
+			}
+			return m
+		}
+		sameMeasurement(t, alg.String(), run(EngineScheduler), run(EngineAuto))
+	})
+}

@@ -20,6 +20,53 @@ const (
 	Completion
 )
 
+// Engine selects how the repetitions of a measurement are executed.
+type Engine int
+
+const (
+	// EngineAuto (the default) captures the first repetition under the
+	// full scheduler, validates the captured plan with an echo run (the
+	// program re-executed against replayed clocks, its operation stream
+	// byte-compared to the plan), and re-times the remaining repetitions
+	// with the plan-replay engine, falling back to the scheduler when the
+	// structure diverges. Results are bit-identical to EngineScheduler
+	// either way.
+	EngineAuto Engine = iota
+	// EngineScheduler runs every repetition under the full MPI scheduler.
+	EngineScheduler
+	// EngineReplay is EngineAuto without the fallback: a measurement whose
+	// structure varies across repetitions fails with an error. Useful for
+	// asserting that the fast path is actually taken.
+	EngineReplay
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineScheduler:
+		return "scheduler"
+	case EngineReplay:
+		return "replay"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto":
+		return EngineAuto, nil
+	case "scheduler":
+		return EngineScheduler, nil
+	case "replay":
+		return EngineReplay, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown engine %q (auto, scheduler, replay)", s)
+	}
+}
+
 // Settings controls the adaptive repetition loop.
 type Settings struct {
 	// Confidence is the CI level (default 0.95).
@@ -32,6 +79,11 @@ type Settings struct {
 	MinReps, MaxReps int
 	// Warmup is the number of unmeasured leading repetitions (default 1).
 	Warmup int
+	// Engine selects the execution engine (default EngineAuto). The
+	// engine never changes measured values — replay is bit-identical to
+	// the scheduler, with an automatic fallback — so it is excluded from
+	// serialised forms (measurement cache keys in particular).
+	Engine Engine `json:"-"`
 }
 
 // DefaultSettings returns the paper's methodology parameters.
@@ -105,8 +157,38 @@ func Measure(net *simnet.Network, nprocs int, set Settings, mode Mode, op Op) (M
 // keep one warm Runner per worker instead of rebuilding scheduler state
 // for every point. Results are bit-identical to Measure on the Runner's
 // network.
+//
+// Settings.Engine selects how repetitions execute: the default (auto)
+// runs the first repetition under the scheduler while capturing its
+// execution plan, and — once an echo run has validated that the
+// program's structure is plan-stable — re-times the remaining
+// repetitions with the allocation-free replay engine, producing
+// bit-identical samples at a fraction of the cost.
 func MeasureOn(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (Measurement, error) {
 	set = set.withDefaults()
+	if set.Engine == EngineScheduler {
+		return measureScheduler(r, nprocs, set, mode, op)
+	}
+	meas, ok, err := measureReplay(r, nprocs, set, mode, op)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if ok {
+		return meas, nil
+	}
+	if set.Engine == EngineReplay {
+		return Measurement{}, fmt.Errorf("experiment: replay engine: execution structure varies across repetitions; use the scheduler engine")
+	}
+	return measureScheduler(r, nprocs, set, mode, op)
+}
+
+// measureScheduler is the full-scheduler repetition loop: one simulated
+// MPI program whose root collects samples and decides whether to
+// continue; the decision is shared with the other ranks through a flag
+// written by the root strictly before a barrier that the others read
+// strictly after (the runtime's scheduler provides the necessary
+// happens-before edges).
+func measureScheduler(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (Measurement, error) {
 	var (
 		meas Measurement
 		stop bool
@@ -153,11 +235,199 @@ func MeasureOn(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (Measu
 	if err != nil {
 		return Measurement{}, err
 	}
+	return finishMeasurement(meas), nil
+}
+
+func finishMeasurement(meas Measurement) Measurement {
 	meas.Mean = stats.Mean(meas.Samples)
 	meas.Reps = len(meas.Samples)
 	_, meas.NormalityP = stats.JarqueBera(meas.Samples)
 	meas.Lag1 = stats.Lag1Autocorrelation(meas.Samples)
-	return meas, nil
+	return meas
+}
+
+// replayLanes bounds how many repetitions one replay batch re-times; the
+// jitter for the whole batch is drawn up front and the mark buffers are
+// lane-major (see mpi.Replayer).
+const replayLanes = 8
+
+// measureReplay is the capture-then-replay repetition loop. It executes
+// repetition 0 under the scheduler in a capturing program whose root
+// brackets the repetition with marks, compiles the repetition into a
+// Plan, replays repetition 1, and validates the plan with an echo run:
+// the repetition's closures re-executed against the replayed clocks,
+// every submitted operation byte-compared with the plan (mpi.EchoRun).
+// The echo proves the program's structure does not depend on the jitter
+// drawn, so repetitions 2..N are re-timed by the same mpi.Replayer,
+// which continues the captured program's exact state (clocks, NIC ports,
+// noise-stream position). The sample sequence, and therefore the
+// Measurement, is bit-identical to measureScheduler's.
+//
+// ok is false when the echo detects structural divergence, the program
+// carries payload bytes (which an echo cannot deliver), or the plan does
+// not close over a repetition: the measurement then belongs to the
+// scheduler engine, and the caller reruns it there.
+func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (meas Measurement, ok bool, err error) {
+	var (
+		captured    float64
+		barrierCost float64
+	)
+	res, cap, err := r.RunCapture(nprocs, func(p *mpi.Proc) error {
+		root := p.Rank() == 0
+		// Calibrate the (deterministic) barrier cost, as measureScheduler
+		// does.
+		p.Barrier()
+		t0 := p.Now()
+		p.Barrier()
+		bc := p.Now() - t0
+
+		if root {
+			p.Mark() // repetition boundary
+		}
+		p.Barrier() // open: align all ranks
+		start := p.Now()
+		if root {
+			p.Mark() // sample start
+		}
+		op(p)
+		var sample float64
+		switch mode {
+		case Completion:
+			p.Barrier() // close: wait for global completion
+			sample = p.Now() - start - bc
+		default:
+			sample = p.Now() - start
+		}
+		if root {
+			p.Mark() // sample end
+			captured = sample
+			barrierCost = bc
+		}
+		p.Barrier() // decide (kept so replayed repetitions chain exactly)
+		return nil
+	})
+	if err != nil {
+		return Measurement{}, false, err
+	}
+
+	// The capturing root marked 3 points; anything else means op itself
+	// calls Mark, which the replay cannot attribute. Payload-carrying
+	// programs cannot be echo-validated (plans hold structure, not data).
+	if cap.MarkCount() != 3 || cap.HasPayload() {
+		return Measurement{}, false, nil
+	}
+	// The plan spans everything after the boundary mark: open barrier,
+	// sample marks, the operation, and the decide barrier — one complete
+	// repetition, chaining into the next exactly as the scheduler's loop
+	// iterations do.
+	plan, perr := r.CompilePlan(cap, 0, -1)
+	if perr != nil || plan.Marks() != 2 {
+		return Measurement{}, false, nil
+	}
+
+	// Replicate the adaptive decision of the scheduler loop's root over
+	// the sample sequence, captured then replayed.
+	stop := false
+	push := func(sample float64) {
+		meas.Samples = append(meas.Samples, sample)
+		n := len(meas.Samples)
+		if n >= set.MinReps {
+			ci, err := stats.MeanCI(meas.Samples, set.Confidence)
+			converged := err == nil && ci.RelativeError() <= set.Precision
+			if converged || n >= set.MaxReps {
+				meas.CI = ci
+				meas.Converged = converged
+				stop = true
+			}
+		}
+	}
+	if set.Warmup == 0 {
+		push(captured)
+	}
+	rep := 1
+	if !stop {
+		lanes := replayLanes
+		if rem := set.Warmup + set.MaxReps - rep; rem < lanes {
+			lanes = rem
+		}
+		if lanes < 1 {
+			// The scheduler loop would already have stopped; defensive.
+			return Measurement{}, false, nil
+		}
+		rp, rerr := mpi.NewReplayer(r.Network(), plan, res.FinishTimes, lanes)
+		if rerr != nil {
+			return Measurement{}, false, rerr
+		}
+		// Replay repetition 1 alone, then echo-validate the plan against
+		// its clocks before trusting any replayed sample.
+		marks, mok := rp.Replay(1)
+		if !mok {
+			return Measurement{}, false, nil
+		}
+		eerr := r.EchoRun(plan, rp.EchoClocks(), res.FinishTimes, func(p *mpi.Proc) error {
+			root := p.Rank() == 0
+			p.Barrier()
+			if root {
+				p.Mark()
+			}
+			op(p)
+			if mode == Completion {
+				p.Barrier()
+			}
+			if root {
+				p.Mark()
+			}
+			p.Barrier()
+			return nil
+		})
+		if eerr != nil {
+			return Measurement{}, false, nil
+		}
+		// The plan is validated; later repetitions need no echo clocks.
+		rp.DiscardEchoClocks()
+		sample := marks[1] - marks[0]
+		if mode == Completion {
+			sample -= barrierCost
+		}
+		if rep >= set.Warmup {
+			push(sample)
+		}
+		rep++
+		// Repetitions up to the first possible convergence decision can be
+		// batched; after that, each repetition may be the last.
+		firstDecision := set.Warmup + set.MinReps - 1
+		for !stop {
+			need := 1
+			if rep <= firstDecision {
+				need = firstDecision - rep + 1
+			}
+			k := need
+			if k > lanes {
+				k = lanes
+			}
+			if rem := set.Warmup + set.MaxReps - rep; rem < k {
+				k = rem
+			}
+			if k < 1 {
+				return Measurement{}, false, nil
+			}
+			marks, mok := rp.Replay(k)
+			if !mok {
+				return Measurement{}, false, nil
+			}
+			for l := 0; l < k && !stop; l++ {
+				sample := marks[l*2+1] - marks[l*2]
+				if mode == Completion {
+					sample -= barrierCost
+				}
+				if rep >= set.Warmup {
+					push(sample)
+				}
+				rep++
+			}
+		}
+	}
+	return finishMeasurement(meas), true, nil
 }
 
 // MeasureBcast measures one broadcast configuration on a cluster profile:

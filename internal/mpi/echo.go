@@ -1,0 +1,174 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Echo runs: the replay engine's correctness gate. A Replayer re-times a
+// Plan without ever running user code, so it must know the program's
+// structure is the same in every repetition. Rather than paying for a
+// second scheduler-driven repetition to compare traces, an echo run
+// re-executes the user function with the scheduler switched off: each
+// rank's goroutine streams through its own slice of the plan, comparing
+// every operation it submits — kind, peer, tag, byte count, sleep
+// duration, wait membership — against the recorded event, and taking its
+// clock from the release times a validating replay pass produced
+// (Replayer.EchoClocks). There is no cross-rank synchronisation: all
+// times are precomputed, so ranks echo fully in parallel.
+//
+// Soundness: timing-dependent control flow can only change a program's
+// structure by changing some rank's own operation stream at the point of
+// divergence. Replayed clocks are bit-identical to the scheduler's up to
+// the causal frontier of any divergence, so the echoed stream sees
+// exactly the clocks the real program would have and diverges at the same
+// operation — which the comparison flags. Any mismatch (or panic) aborts
+// the echo and the caller falls back to the scheduler engine.
+
+// echoRank is one rank's cursor over the plan during an echo run.
+type echoRank struct {
+	plan *Plan
+	clk  []float64 // release clock per plan event (Replayer.EchoClocks)
+	next int32     // next unconsumed event in the rank's slice
+	end  int32
+}
+
+// echoStep validates one submitted operation against the plan and returns
+// the rank's new clock. It panics (recovered by EchoRun) on divergence.
+func (p *Proc) echoStep(op *operation) float64 {
+	e := p.echo
+	if e.next >= e.end {
+		panic(fmt.Errorf("mpi: echo: rank %d: %v past the end of its plan", p.rank, op.kind))
+	}
+	idx := e.next
+	e.next++
+	pe := &e.plan.events[idx]
+	want := evKind(0)
+	switch op.kind {
+	case opSleep:
+		want = evSleep
+		if pe.kind == evSleep && pe.dur != op.dur {
+			p.echoFail(op, idx, "duration changed")
+		}
+	case opMark:
+		want = evMark
+	case opBarrier:
+		want = evBarrier
+	case opIsend:
+		want = evSend
+		if pe.kind == evSend && (pe.peer != op.peer || pe.tag != op.tag || pe.bytes != op.bytes) {
+			p.echoFail(op, idx, "destination, tag, or size changed")
+		}
+		op.req.slot = pe.slot
+	case opIrecv:
+		want = evRecv
+		if pe.kind == evRecv && (pe.peer != op.peer || pe.tag != op.tag) {
+			p.echoFail(op, idx, "source or tag changed")
+		}
+		op.req.slot = pe.slot
+		op.req.bytes = pe.bytes
+	case opWait:
+		want = evWait
+		if pe.kind == evWait {
+			if int(pe.wLen) != len(op.reqs) {
+				p.echoFail(op, idx, "request count changed")
+			}
+			for i, r := range op.reqs {
+				if r.slot != e.plan.waitSlots[pe.wOff+int32(i)] {
+					p.echoFail(op, idx, "request set changed")
+				}
+			}
+		}
+	default:
+		p.echoFail(op, idx, "operation kind not replayable")
+	}
+	if pe.kind != want {
+		p.echoFail(op, idx, fmt.Sprintf("plan has %v here", pe.kind))
+	}
+	return e.clk[idx]
+}
+
+func (p *Proc) echoFail(op *operation, idx int32, why string) {
+	panic(fmt.Errorf("mpi: echo: rank %d: %v at event %d diverges from the plan: %s", p.rank, op.kind, idx, why))
+}
+
+func (k evKind) String() string {
+	switch k {
+	case evSleep:
+		return "sleep"
+	case evSend:
+		return "send"
+	case evRecv:
+		return "recv"
+	case evWait:
+		return "wait"
+	case evBarrier:
+		return "barrier"
+	case evMark:
+		return "mark"
+	}
+	return "unknown"
+}
+
+// EchoRun re-executes fn against plan: every rank runs fn with the
+// scheduler switched off, validating its operation stream against the
+// plan's events and taking clocks from clk — the release times of a
+// replay pass over the same plan (Replayer.EchoClocks), with start
+// holding the per-rank clocks that pass began from. A nil error means
+// every rank's stream matched its slice of the plan exactly; any
+// divergence, rank error, or panic is reported as an error, telling the
+// caller the plan is not structurally stable and replayed timings cannot
+// be trusted.
+//
+// Plans record structure, not data, so an echo run delivers no payload
+// bytes; callers must keep payload-carrying programs (Capture.HasPayload)
+// on the scheduler engine.
+func (r *Runner) EchoRun(plan *Plan, clk []float64, start []float64, fn func(*Proc) error) error {
+	n := plan.nprocs
+	if len(clk) != len(plan.events) {
+		return fmt.Errorf("mpi: echo: %d clocks for a %d-event plan", len(clk), len(plan.events))
+	}
+	if len(start) != n {
+		return fmt.Errorf("mpi: echo: %d start clocks for a %d-rank plan", len(start), n)
+	}
+	for len(r.procs) < n {
+		r.procs = append(r.procs, &Proc{rank: len(r.procs)})
+	}
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		p := r.procs[i]
+		p.size = n
+		p.clock = start[i]
+		p.echo = &echoRank{plan: plan, clk: clk, next: plan.rankOff[i], end: plan.rankOff[i+1]}
+		go runEchoRank(p, fn, errs)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	for i := 0; i < n; i++ {
+		r.procs[i].echo = nil
+	}
+	return first
+}
+
+// runEchoRank wraps one rank's echo, converting panics (divergence, API
+// misuse) into errors and checking the rank consumed its whole slice.
+func runEchoRank(p *Proc, fn func(*Proc) error, errs chan<- error) {
+	var err error
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("mpi: echo: rank %d panicked: %v", p.rank, rec)
+			}
+		}
+		if err == nil && p.echo.next != p.echo.end {
+			err = fmt.Errorf("mpi: echo: rank %d stopped %d events short of its plan", p.rank, p.echo.end-p.echo.next)
+		}
+		errs <- err
+	}()
+	err = fn(p)
+}

@@ -67,6 +67,7 @@ type Request struct {
 	at       float64 // virtual completion time, valid when bound
 	bytes    int     // received message size, valid for receives when bound
 	consumed bool    // has been waited on
+	slot     int32   // capture-global slot id while a trace is recorded
 }
 
 // Bytes returns the size of the received message. It is only meaningful
@@ -93,6 +94,10 @@ type Proc struct {
 	// waitBuf backs the single-request Wait fast path, avoiding the
 	// variadic slice allocation of WaitAll.
 	waitBuf [1]*Request
+
+	// echo, when non-nil, routes submitted operations to the echo
+	// validator (echo.go) instead of the scheduler.
+	echo *echoRank
 }
 
 // Rank returns this process's rank in 0..Size()-1.
@@ -213,6 +218,16 @@ func (p *Proc) Barrier() {
 	p.submit(operation{kind: opBarrier})
 }
 
+// Mark records a timing-neutral marker in the execution trace of a
+// capturing run (see Runner.RunCapture): it does not advance the rank's
+// clock, costs no virtual time, and has no effect on any other rank's
+// timing. The measurement harness brackets repetitions and sample points
+// with marks so a captured Plan knows where to read replayed clocks.
+// Outside a capturing run a Mark is a no-op.
+func (p *Proc) Mark() {
+	p.submit(operation{kind: opMark})
+}
+
 func (p *Proc) checkPeer(peer int, op string) {
 	if peer < 0 || peer >= p.size {
 		panic(fmt.Errorf("mpi: rank %d: %s peer %d outside 0..%d", p.rank, op, peer, p.size-1))
@@ -223,8 +238,14 @@ func (p *Proc) checkPeer(peer int, op string) {
 }
 
 // submit hands an operation to the scheduler and blocks for the reply.
+// In an echo run there is no scheduler: the operation is validated
+// against the plan and the clock comes from the replayed release times.
 func (p *Proc) submit(op operation) {
 	op.rank = p.rank
+	if p.echo != nil {
+		p.clock = p.echoStep(&op)
+		return
+	}
 	op.clock = p.clock
 	p.seq++
 	op.seq = p.seq
@@ -244,6 +265,7 @@ const (
 	opWait
 	opBarrier
 	opSleep
+	opMark
 	opExit
 )
 
@@ -259,6 +281,8 @@ func (k opKind) String() string {
 		return "barrier"
 	case opSleep:
 		return "sleep"
+	case opMark:
+		return "mark"
 	case opExit:
 		return "exit"
 	}

@@ -1,0 +1,371 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"mpicollperf/internal/simnet"
+)
+
+// Replayer re-times a captured Plan: one replay pass evaluates the same
+// virtual-time arithmetic the scheduler would have — port occupancy
+// through simnet.Ports, request binding through plan-local slots, barrier
+// alignment through the plan's barrier cost — without goroutines,
+// channels, or message matching. The global processing order, which fixes
+// both the order jitter factors are drawn in and the order NIC ports are
+// claimed in, is recomputed per repetition with the scheduler's exact
+// discipline: every rank has at most one schedulable operation, and the
+// one with the smallest (virtual time, rank) is processed next. The
+// replayed clocks are therefore bit-identical to the scheduler's.
+//
+// Repetitions are evaluated in noise lanes (struct-of-arrays): Replay(k)
+// draws the jitter factors for k successive repetitions from the
+// network's single noise stream up front (lane l holds the stream stripe
+// of repetition l of the batch), then walks each lane over its own port
+// stripe, chained from its predecessor's barrier-aligned end state. The
+// steady-state pass allocates nothing: every buffer is sized at
+// construction.
+type Replayer struct {
+	plan  *Plan
+	net   *simnet.Network
+	ports *simnet.Ports
+	lanes int
+	// clocks holds per-lane rank clocks, lane-major stripes of nprocs.
+	clocks []float64
+	// jit holds the batch's jitter factors, lane-major stripes of
+	// plan.Draws().
+	jit []float64
+	// marks holds the batch's mark clocks, lane-major stripes of
+	// plan.Marks().
+	marks []float64
+	// last is the lane holding the most recently replayed repetition's
+	// end state; the next batch chains from it.
+	last int
+
+	// Per-lane scratch, reset at the start of each lane's walk.
+	cursor []int32   // per-rank index of the next unprocessed event
+	reqAt  []float64 // per-slot bound completion time (max of its halves)
+	pend   []uint8   // per-slot halves still outstanding
+	parked []bool    // per-rank: cursor points at a wait with unbound slots
+	heap   []heapEnt // schedulable frontier, min-(key, rank)
+	// clk records each event's release clock — the virtual time the owning
+	// rank's program resumes at after the event — for the most recently
+	// replayed lane; an echo run (Runner.EchoRun) replays user code against
+	// these times. Nil once DiscardEchoClocks is called: the stores are
+	// pure overhead after the echo validation has passed. barrierIdx tracks
+	// each rank's pending barrier event so the release can stamp all of
+	// them at once.
+	clk        []float64
+	barrierIdx []int32
+
+	lane       int
+	laneClock  []float64 // current lane's stripe of clocks
+	barrierN   int
+	barrierMax float64
+	ji, mi     int
+}
+
+// heapEnt is one frontier entry: rank's next event becomes processable at
+// virtual time key. At most one entry per rank exists, so (key, rank) is
+// the scheduler's full tie-breaking order.
+type heapEnt struct {
+	key  float64
+	rank int32
+}
+
+// NewReplayer builds a Replayer for plan continuing the execution state of
+// net (whose ports are snapshotted now and whose noise stream the replays
+// will consume) with the given per-rank clocks — normally the FinishTimes
+// of the capturing run. lanes bounds the batch size of Replay.
+func NewReplayer(net *simnet.Network, plan *Plan, clocks []float64, lanes int) (*Replayer, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("mpi: %d replay lanes, need >= 1", lanes)
+	}
+	if len(clocks) != plan.nprocs {
+		return nil, fmt.Errorf("mpi: %d start clocks for a %d-rank plan", len(clocks), plan.nprocs)
+	}
+	ports, err := net.NewPorts(lanes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replayer{
+		plan:   plan,
+		net:    net,
+		ports:  ports,
+		lanes:  lanes,
+		clocks: make([]float64, lanes*plan.nprocs),
+		jit:    make([]float64, lanes*plan.draws),
+		marks:  make([]float64, lanes*plan.marks),
+		cursor:     make([]int32, plan.nprocs),
+		reqAt:      make([]float64, plan.slots),
+		pend:       make([]uint8, plan.slots),
+		parked:     make([]bool, plan.nprocs),
+		heap:       make([]heapEnt, 0, plan.nprocs),
+		clk:        make([]float64, len(plan.events)),
+		barrierIdx: make([]int32, plan.nprocs),
+	}
+	copy(r.clocks[:plan.nprocs], clocks)
+	return r, nil
+}
+
+// Lanes returns the maximum batch size.
+func (r *Replayer) Lanes() int { return r.lanes }
+
+// Replay re-times the next k repetitions (1 <= k <= Lanes) and returns
+// the mark clocks, lane-major: the clocks of lane l's marks are
+// marks[l*plan.Marks() : (l+1)*plan.Marks()], in the marking rank's
+// program order. The returned slice is owned by the Replayer and valid
+// until the next call.
+//
+// ok is false when a lane's walk does not close over the plan (a rank
+// left parked or mid-program); that means the plan does not describe a
+// self-contained repetition, and the caller must fall back to the
+// scheduler engine.
+func (r *Replayer) Replay(k int) (marks []float64, ok bool) {
+	if k < 1 || k > r.lanes {
+		panic(fmt.Errorf("mpi: Replay(%d) outside 1..%d", k, r.lanes))
+	}
+	p := r.plan
+	n := p.nprocs
+	// One pre-draw for the whole batch: the stream order is repetition
+	// order, so lane l's stripe holds exactly the factors the scheduler
+	// would have drawn during repetition l of the batch.
+	r.net.DrawJitterInto(r.jit[:k*p.draws])
+	for l := 0; l < k; l++ {
+		// Chain the lane from the previous repetition's end state.
+		r.ports.SeedLane(l, r.last)
+		if l != r.last {
+			copy(r.clocks[l*n:(l+1)*n], r.clocks[r.last*n:(r.last+1)*n])
+		}
+		if !r.replayLane(l) {
+			return nil, false
+		}
+		r.last = l
+	}
+	return r.marks[:k*p.marks], true
+}
+
+// replayLane walks one repetition on lane l.
+func (r *Replayer) replayLane(l int) bool {
+	p := r.plan
+	n := p.nprocs
+	r.lane = l
+	r.laneClock = r.clocks[l*n : (l+1)*n]
+	copy(r.cursor, p.rankOff[:n])
+	copy(r.pend, p.slotPend)
+	for i := range r.reqAt {
+		r.reqAt[i] = 0
+	}
+	for i := range r.parked {
+		r.parked[i] = false
+	}
+	r.heap = r.heap[:0]
+	r.barrierN = 0
+	r.barrierMax = 0
+	r.ji = l * p.draws
+	r.mi = l * p.marks
+	for rank := 0; rank < n; rank++ {
+		r.advance(rank)
+	}
+	for len(r.heap) > 0 {
+		key, rank := r.pop()
+		cur := r.cursor[rank]
+		r.cursor[rank] = cur + 1
+		e := &p.events[cur]
+		switch e.kind {
+		case evSleep:
+			key += e.dur
+			r.laneClock[rank] = key
+		case evMark:
+			r.marks[r.mi] = key
+			r.mi++
+		case evWait:
+			r.laneClock[rank] = key
+		case evRecv:
+			s := e.slot
+			r.reqAt[s] = math.Max(r.reqAt[s], key)
+			r.pend[s]--
+			// The receive's own rank is busy here, so no wait can be
+			// parked on it; no wake needed.
+		case evSend:
+			var sc, delivered float64
+			if e.local {
+				sc, delivered = r.ports.TransmitLocal(key, e.txTime)
+			} else {
+				f := 1.0
+				if e.draws {
+					f = r.jit[r.ji]
+					r.ji++
+				}
+				sc, delivered = r.ports.Transmit(l, int(e.srcNIC), int(e.dstNIC), e.txTime, e.rxTime, key, f)
+			}
+			r.reqAt[e.slot] = sc
+			r.pend[e.slot] = 0
+			if ps := e.peerSlot; ps >= 0 {
+				r.reqAt[ps] = math.Max(r.reqAt[ps], delivered)
+				if r.pend[ps]--; r.pend[ps] == 0 {
+					r.wake(int(p.slotOwner[ps]))
+				}
+			}
+			key += p.sendOverhead
+			r.laneClock[rank] = key
+		}
+		if r.clk != nil {
+			r.clk[cur] = key
+		}
+		r.advance(rank)
+	}
+	// A well-formed repetition ends with every rank's program exhausted.
+	if r.barrierN != 0 {
+		return false
+	}
+	for rank := 0; rank < n; rank++ {
+		if r.parked[rank] || r.cursor[rank] != p.rankOff[rank+1] {
+			return false
+		}
+	}
+	return true
+}
+
+// advance schedules rank's next event: barriers park the rank until all
+// have arrived, a wait with unbound requests parks until its last message
+// is delivered (wake), everything else joins the frontier at the rank's
+// current clock.
+func (r *Replayer) advance(rank int) {
+	p := r.plan
+	cur := r.cursor[rank]
+	if cur == p.rankOff[rank+1] {
+		return
+	}
+	e := &p.events[cur]
+	switch e.kind {
+	case evBarrier:
+		r.cursor[rank] = cur + 1
+		r.barrierIdx[rank] = cur
+		r.barrierMax = math.Max(r.barrierMax, r.laneClock[rank])
+		if r.barrierN++; r.barrierN == p.nprocs {
+			t := r.barrierMax + p.barrierCost
+			r.barrierN = 0
+			r.barrierMax = 0
+			for i := range r.laneClock {
+				r.laneClock[i] = t
+			}
+			if r.clk != nil {
+				for i := 0; i < p.nprocs; i++ {
+					r.clk[r.barrierIdx[i]] = t
+				}
+			}
+			for i := 0; i < p.nprocs; i++ {
+				r.advance(i)
+			}
+		}
+	case evWait:
+		for _, s := range p.waitSlots[e.wOff : e.wOff+e.wLen] {
+			if r.pend[s] != 0 {
+				r.parked[rank] = true
+				return
+			}
+		}
+		r.push(r.waitKey(rank, e), int32(rank))
+	default:
+		r.push(r.laneClock[rank], int32(rank))
+	}
+}
+
+// waitKey is the virtual time a wait resolves at: the later of the rank's
+// clock and its requests' completion times — the scheduler's scheduleKey.
+func (r *Replayer) waitKey(rank int, e *planEvent) float64 {
+	t := r.laneClock[rank]
+	for _, s := range r.plan.waitSlots[e.wOff : e.wOff+e.wLen] {
+		if v := r.reqAt[s]; v > t {
+			t = v
+		}
+	}
+	return t
+}
+
+// wake re-examines rank's parked wait after a request bound.
+func (r *Replayer) wake(rank int) {
+	if !r.parked[rank] {
+		return
+	}
+	e := &r.plan.events[r.cursor[rank]]
+	for _, s := range r.plan.waitSlots[e.wOff : e.wOff+e.wLen] {
+		if r.pend[s] != 0 {
+			return
+		}
+	}
+	r.parked[rank] = false
+	r.push(r.waitKey(rank, e), int32(rank))
+}
+
+// push inserts a frontier entry; the heap never exceeds one entry per
+// rank, so its capacity (nprocs) is fixed at construction.
+func (r *Replayer) push(key float64, rank int32) {
+	h := append(r.heap, heapEnt{key: key, rank: rank})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	r.heap = h
+}
+
+func (r *Replayer) pop() (float64, int) {
+	h := r.heap
+	top := h[0]
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	if len(h) > 0 {
+		h[0] = last
+		i := 0
+		for {
+			l, rt, m := 2*i+1, 2*i+2, i
+			if l < len(h) && entLess(h[l], h[m]) {
+				m = l
+			}
+			if rt < len(h) && entLess(h[rt], h[m]) {
+				m = rt
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	r.heap = h
+	return top.key, int(top.rank)
+}
+
+// entLess mirrors the scheduler's opLess: smallest key first, ties by
+// rank. A rank has one frontier entry at most, so no third component is
+// needed for a total order.
+func entLess(a, b heapEnt) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.rank < b.rank
+}
+
+// Clocks returns the per-rank clocks after the most recently replayed
+// repetition. The slice is owned by the Replayer.
+func (r *Replayer) Clocks() []float64 {
+	n := r.plan.nprocs
+	return r.clocks[r.last*n : (r.last+1)*n]
+}
+
+// EchoClocks returns the release clock of every plan event in the most
+// recently replayed repetition, indexed like the plan's events. The slice
+// is owned by the Replayer and overwritten by the next Replay call; it is
+// the time source for Runner.EchoRun. Nil after DiscardEchoClocks.
+func (r *Replayer) EchoClocks() []float64 { return r.clk }
+
+// DiscardEchoClocks stops recording per-event release clocks. The
+// measurement harness calls it once the echo validation has passed:
+// every later repetition then skips one store per event.
+func (r *Replayer) DiscardEchoClocks() { r.clk = nil }

@@ -27,6 +27,10 @@ type Runner struct {
 	opts  Options
 	sched *scheduler
 	procs []*Proc
+	rec   *capture // recycled across RunCapture calls
+	// Recycled across CompilePlan calls.
+	plan        *Plan
+	planScratch *planScratch
 }
 
 // NewRunner builds a Runner with a fresh network from cfg.
@@ -50,15 +54,61 @@ func (r *Runner) Network() *simnet.Network { return r.net }
 // Run executes fn on nprocs ranks, like RunOn, reusing the Runner's warm
 // scheduler state.
 func (r *Runner) Run(nprocs int, fn func(*Proc) error) (Result, error) {
+	res, _, err := r.run(nprocs, fn, false)
+	return res, err
+}
+
+// RunCapture executes fn like Run while recording the program's complete
+// structural trace — every transfer with its matched receive, every wait,
+// barrier, and Proc.Mark — in scheduler processing order. Recording never
+// changes timing: the Result is bit-identical to Run of the same fn, and
+// a fn differing only in Mark calls times identically too.
+//
+// Trace segments between marks compile into immutable Plans
+// (Capture.Plan) that a Replayer can re-time without running the
+// scheduler; the measurement harness captures the first repetition of an
+// experiment this way and replays the rest.
+//
+// The returned Capture shares the Runner's recycled trace buffers: it is
+// valid only until the next RunCapture on this Runner. Plans compiled
+// from it copy everything they need and stay valid indefinitely.
+func (r *Runner) RunCapture(nprocs int, fn func(*Proc) error) (Result, *Capture, error) {
+	return r.run(nprocs, fn, true)
+}
+
+// CompilePlan compiles a trace segment exactly like Capture.Plan but
+// reuses the Runner's plan buffers: the returned Plan is valid only
+// until the next CompilePlan on this Runner. A measurement sweep
+// compiles one plan per grid point, so the recycled buffers make the
+// per-point compilation cost amortize to the walk itself.
+func (r *Runner) CompilePlan(cap *Capture, fromMark, toMark int) (*Plan, error) {
+	if r.plan == nil {
+		r.plan = &Plan{}
+		r.planScratch = &planScratch{}
+	}
+	return cap.plan(r.plan, r.planScratch, fromMark, toMark)
+}
+
+func (r *Runner) run(nprocs int, fn func(*Proc) error, record bool) (Result, *Capture, error) {
 	if nprocs < 1 {
-		return Result{}, fmt.Errorf("mpi: nprocs = %d, need >= 1", nprocs)
+		return Result{}, nil, fmt.Errorf("mpi: nprocs = %d, need >= 1", nprocs)
 	}
 	if nprocs > r.net.Nodes() {
-		return Result{}, fmt.Errorf("mpi: nprocs %d exceeds cluster size %d", nprocs, r.net.Nodes())
+		return Result{}, nil, fmt.Errorf("mpi: nprocs %d exceeds cluster size %d", nprocs, r.net.Nodes())
 	}
 	r.net.Reset()
 	s := r.sched
 	s.reset(r.net, nprocs, r.opts)
+	if record {
+		if r.rec == nil {
+			r.rec = newCapture(r.net, nprocs, s.barrierCost())
+		} else {
+			r.rec.reset(r.net, nprocs, s.barrierCost())
+		}
+		s.rec = r.rec
+	} else {
+		s.rec = nil
+	}
 	for len(r.procs) < nprocs {
 		r.procs = append(r.procs, &Proc{rank: len(r.procs)})
 	}
@@ -69,7 +119,25 @@ func (r *Runner) Run(nprocs int, fn func(*Proc) error) (Result, error) {
 		p.resume = s.resumes[i]
 		p.clock = 0
 		p.seq = 0
+		p.echo = nil
 		go runRank(p, fn)
 	}
-	return s.loop()
+	res, err := s.loop()
+	var cap *Capture
+	if rec := s.rec; rec != nil {
+		s.rec = nil
+		if err == nil {
+			cap = &Capture{
+				nprocs:      rec.nprocs,
+				cfg:         rec.cfg,
+				barrierCost: rec.barrierCost,
+				slots:       int(rec.nextSlot),
+				payload:     rec.payload,
+				events:      rec.events,
+				waitSlots:   rec.waitSlots,
+				marks:       rec.marks,
+			}
+		}
+	}
+	return res, cap, err
 }

@@ -1,0 +1,134 @@
+package simnet
+
+import "fmt"
+
+// This file is the timing-replay side of the simulator. A captured
+// execution plan (package mpi) re-times a communication structure many
+// times without re-running the scheduler; the per-NIC port bookkeeping and
+// the transfer arithmetic it needs live here, next to Transmit, so the two
+// code paths cannot drift apart. Replayed transfers are bit-identical to
+// Transmit on the same inputs: both use the same expressions in the same
+// order.
+//
+// Replay evaluates repetitions in noise "lanes": a batch of K successive
+// repetitions shares one struct-of-arrays port state (lane-major stripes),
+// and the jitter factors for the whole batch are drawn up front from the
+// network's single noise stream in plan order — lane 0 consumes the draws
+// of the first repetition, lane 1 the next, and so on, exactly as the
+// scheduler would have consumed them. Lanes are chained, not independent:
+// repetition k+1 starts from the barrier-aligned state repetition k left
+// behind, so SeedLane copies a predecessor stripe before a lane is walked.
+
+// Ports is lane-parallel per-NIC port-free bookkeeping for timing replay,
+// plus the link constants the transfer arithmetic needs. Stripes are
+// lane-major: lane l's port state for NIC i lives at [l*NICs() + i].
+type Ports struct {
+	nics  int
+	lanes int
+	// Link constants, copied from the Config so a Ports is self-contained.
+	latency      float64
+	sendOverhead float64
+	recvOverhead float64
+	intraLatency float64
+	// SendFree and RecvFree hold, per lane and NIC, the virtual time the
+	// port becomes idle.
+	sendFree []float64
+	recvFree []float64
+}
+
+// NewPorts snapshots the network's current port state into every lane of a
+// fresh Ports. lanes must be at least 1.
+func (n *Network) NewPorts(lanes int) (*Ports, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("simnet: %d replay lanes, need >= 1", lanes)
+	}
+	nics := n.cfg.NICs()
+	p := &Ports{
+		nics:         nics,
+		lanes:        lanes,
+		latency:      n.cfg.Latency,
+		sendOverhead: n.cfg.SendOverhead,
+		recvOverhead: n.cfg.RecvOverhead,
+		intraLatency: n.cfg.IntraNodeLatency,
+		sendFree:     make([]float64, lanes*nics),
+		recvFree:     make([]float64, lanes*nics),
+	}
+	for l := 0; l < lanes; l++ {
+		copy(p.sendFree[l*nics:(l+1)*nics], n.sendFree)
+		copy(p.recvFree[l*nics:(l+1)*nics], n.recvFree)
+	}
+	return p, nil
+}
+
+// NICs returns the number of NICs per lane.
+func (p *Ports) NICs() int { return p.nics }
+
+// Lanes returns the number of lanes.
+func (p *Ports) Lanes() int { return p.lanes }
+
+// SeedLane copies lane from's port state into lane to: lane to will replay
+// the repetition that follows the one lane from just finished.
+func (p *Ports) SeedLane(to, from int) {
+	if to == from {
+		return
+	}
+	copy(p.sendFree[to*p.nics:(to+1)*p.nics], p.sendFree[from*p.nics:(from+1)*p.nics])
+	copy(p.recvFree[to*p.nics:(to+1)*p.nics], p.recvFree[from*p.nics:(from+1)*p.nics])
+}
+
+// Transmit replays one inter-NIC transfer on the given lane: txTime and
+// rxTime are the precomputed noise-free port occupancies (bytes times the
+// per-byte port times), now is the sender's virtual time, and jitter is
+// the (1+ε) factor drawn for this event (1 when the network is
+// noise-free). It returns the send-completion and delivery times,
+// bit-identical to Network.Transmit on the same inputs.
+func (p *Ports) Transmit(lane, srcNIC, dstNIC int, txTime, rxTime, now, jitter float64) (sendComplete, delivered float64) {
+	sf := p.sendFree[lane*p.nics:]
+	rf := p.recvFree[lane*p.nics:]
+	tx := txTime
+	if tx > 0 {
+		tx = tx * jitter
+	}
+	startTx := max(now+p.sendOverhead, sf[srcNIC])
+	sendComplete = startTx + tx
+	sf[srcNIC] = sendComplete
+	arrival := sendComplete + p.latency
+	startRx := max(arrival, rf[dstNIC])
+	drained := startRx + rxTime
+	rf[dstNIC] = drained
+	delivered = drained + p.recvOverhead
+	return sendComplete, delivered
+}
+
+// TransmitLocal replays a transfer between co-located processes (shared
+// NIC): no port is occupied and no jitter is drawn. txTime is the
+// precomputed bytes·IntraNodeByteTime.
+func (p *Ports) TransmitLocal(now, txTime float64) (sendComplete, delivered float64) {
+	startTx := now + p.sendOverhead
+	sendComplete = startTx + txTime
+	arrival := sendComplete + p.intraLatency
+	delivered = arrival + p.recvOverhead
+	return sendComplete, delivered
+}
+
+// Noisy reports whether Transmit draws a jitter factor per transfer on
+// this network (replay must consume the stream for exactly the transfers
+// the scheduler would have).
+func (n *Network) Noisy() bool { return n.rng != nil }
+
+// DrawJitterInto fills dst with (1+ε) transmission-time factors drawn from
+// the network's live noise stream, one per element, in order — the exact
+// factors the next len(dst) noisy Transmit calls would have used. On a
+// noise-free network every factor is 1 and the (absent) stream is
+// untouched.
+func (n *Network) DrawJitterInto(dst []float64) {
+	if n.rng == nil {
+		for i := range dst {
+			dst[i] = 1
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = 1 + n.cfg.NoiseAmplitude*n.rng.Float64()
+	}
+}

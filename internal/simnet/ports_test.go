@@ -1,0 +1,188 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func portsConfig(procs int) Config {
+	return Config{
+		Nodes:             procs,
+		Latency:           20e-6,
+		ByteTimeSend:      1e-9,
+		ByteTimeRecv:      1e-9,
+		SendOverhead:      1e-6,
+		RecvOverhead:      1e-6,
+		ProcsPerNode:      2,
+		IntraNodeLatency:  1e-6,
+		IntraNodeByteTime: 1e-10,
+	}
+}
+
+// TestPortArraysSizedByNICs pins the port-array sizing: ports exist per
+// physical NIC (ceil(Nodes/ProcsPerNode)), not per process endpoint.
+func TestPortArraysSizedByNICs(t *testing.T) {
+	cfg := portsConfig(10)
+	if got := cfg.NICs(); got != 5 {
+		t.Fatalf("NICs() = %d, want 5", got)
+	}
+	cfg.Nodes = 9 // odd endpoint count: last node half-populated
+	if got := cfg.NICs(); got != 5 {
+		t.Fatalf("NICs() = %d for 9 endpoints, want 5", got)
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.sendFree) != 5 || len(n.recvFree) != 5 {
+		t.Fatalf("port arrays sized %d/%d, want 5 (NIC count)", len(n.sendFree), len(n.recvFree))
+	}
+	p, err := n.NewPorts(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NICs() != 5 || p.Lanes() != 3 {
+		t.Fatalf("Ports = %d NICs x %d lanes, want 5 x 3", p.NICs(), p.Lanes())
+	}
+	if len(p.sendFree) != 15 || len(p.recvFree) != 15 {
+		t.Fatalf("lane stripes sized %d/%d, want 15", len(p.sendFree), len(p.recvFree))
+	}
+}
+
+// TestPortsTransmitMatchesNetwork drives the same randomized transfer
+// sequence through Network.Transmit and Ports.Transmit/TransmitLocal and
+// asserts bit-identical send-completion and delivery times — the
+// arithmetic the replay engine depends on never drifting from the
+// scheduler's.
+func TestPortsTransmitMatchesNetwork(t *testing.T) {
+	cfg := portsConfig(8)
+	cfg.NoiseAmplitude = 0.05
+	cfg.NoiseSeed = 99
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports, err := net.NewPorts(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-draw the jitter a fresh stream with the same seed will produce,
+	// in order; inter-NIC transfers consume it one factor at a time.
+	rng := rand.New(rand.NewSource(cfg.NoiseSeed))
+	order := rand.New(rand.NewSource(7))
+	now := 0.0
+	for i := 0; i < 200; i++ {
+		src := order.Intn(cfg.Nodes)
+		dst := order.Intn(cfg.Nodes)
+		if src == dst {
+			continue
+		}
+		bytes := order.Intn(1 << 16)
+		tr, err := net.Transmit(src, dst, bytes, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sc, delivered float64
+		if cfg.NIC(src) == cfg.NIC(dst) {
+			sc, delivered = ports.TransmitLocal(now, float64(bytes)*cfg.IntraNodeByteTime)
+		} else {
+			jitter := 1.0
+			if txTime := float64(bytes) * cfg.ByteTimeSend; txTime > 0 {
+				jitter = 1 + cfg.NoiseAmplitude*rng.Float64()
+			}
+			sc, delivered = ports.Transmit(0, cfg.NIC(src), cfg.NIC(dst),
+				float64(bytes)*cfg.ByteTimeSend, float64(bytes)*cfg.ByteTimeRecv, now, jitter)
+		}
+		if sc != tr.SendComplete || delivered != tr.Delivered {
+			t.Fatalf("transfer %d (%d->%d, %dB): ports %x/%x, network %x/%x",
+				i, src, dst, bytes, sc, delivered, tr.SendComplete, tr.Delivered)
+		}
+		// Non-decreasing issue times, as the scheduler guarantees.
+		now += float64(order.Intn(3)) * 1e-6
+	}
+}
+
+// TestPortsSeedLaneChains verifies lane chaining: seeding lane 1 from lane
+// 0 and continuing a transfer sequence there matches continuing it on a
+// single-lane state.
+func TestPortsSeedLaneChains(t *testing.T) {
+	cfg := portsConfig(4)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := net.NewPorts(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := net.NewPorts(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First transfer on lane 0 of both.
+	s1, d1 := single.Transmit(0, 0, 1, 1e-9, 1e-9, 0, 1)
+	s2, d2 := double.Transmit(0, 0, 1, 1e-9, 1e-9, 0, 1)
+	if s1 != s2 || d1 != d2 {
+		t.Fatal("lane 0 diverged")
+	}
+	// Continue on lane 1 after seeding it from lane 0.
+	double.SeedLane(1, 0)
+	s1, d1 = single.Transmit(0, 0, 1, 1e-9, 1e-9, d1, 1)
+	s2, d2 = double.Transmit(1, 0, 1, 1e-9, 1e-9, d2, 1)
+	if s1 != s2 || d1 != d2 {
+		t.Fatalf("seeded lane diverged: %x/%x vs %x/%x", s2, d2, s1, d1)
+	}
+}
+
+// TestDrawJitterInto pins the stream semantics: the drawn factors are
+// exactly what the next Transmit calls would have used, and a noise-free
+// network yields all-ones without a stream.
+func TestDrawJitterInto(t *testing.T) {
+	cfg := portsConfig(4)
+	cfg.NoiseAmplitude = 0.04
+	cfg.NoiseSeed = 123
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Noisy() {
+		t.Fatal("network with noise amplitude should be noisy")
+	}
+	buf := make([]float64, 8)
+	net.DrawJitterInto(buf)
+	ref := rand.New(rand.NewSource(cfg.NoiseSeed))
+	for i, f := range buf {
+		want := 1 + cfg.NoiseAmplitude*ref.Float64()
+		if f != want {
+			t.Fatalf("draw %d = %x, want %x", i, f, want)
+		}
+		if f < 1 || f > 1+cfg.NoiseAmplitude {
+			t.Fatalf("draw %d = %v outside [1, 1+amp]", i, f)
+		}
+	}
+	cfg.NoiseAmplitude = 0
+	quiet, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Noisy() {
+		t.Fatal("noise-free network reported noisy")
+	}
+	quiet.DrawJitterInto(buf)
+	for i, f := range buf {
+		if f != 1 {
+			t.Fatalf("noise-free draw %d = %v, want 1", i, f)
+		}
+	}
+}
+
+// TestNewPortsValidation covers the lane-count check.
+func TestNewPortsValidation(t *testing.T) {
+	net, err := New(portsConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.NewPorts(0); err == nil {
+		t.Fatal("0 lanes accepted")
+	}
+}

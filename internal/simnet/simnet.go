@@ -39,8 +39,11 @@ import (
 
 // Config describes a homogeneous cluster.
 type Config struct {
-	// Nodes is the number of compute nodes (one process per node in all of
-	// the paper's experiments).
+	// Nodes is the number of process endpoints (one process per node in
+	// all of the paper's experiments). When ProcsPerNode > 1 it still
+	// counts process endpoints, not physical nodes: consecutive groups of
+	// ProcsPerNode endpoints share one physical node and NIC, so the
+	// cluster has NICs() = ceil(Nodes/ProcsPerNode) physical nodes.
 	Nodes int
 	// Latency is the end-to-end wire latency L in seconds.
 	Latency float64
@@ -86,6 +89,16 @@ func (c Config) procsPerNode() int {
 
 // nic returns the physical node (NIC index) of a process endpoint.
 func (c Config) nic(proc int) int { return proc / c.procsPerNode() }
+
+// NIC returns the physical node (NIC index) of a process endpoint.
+func (c Config) NIC(proc int) int { return c.nic(proc) }
+
+// NICs returns the number of physical nodes, each with one send and one
+// receive port: ceil(Nodes/ProcsPerNode).
+func (c Config) NICs() int {
+	ppn := c.procsPerNode()
+	return (c.Nodes + ppn - 1) / ppn
+}
 
 // Validate reports whether the configuration is physically meaningful.
 func (c Config) Validate() error {
@@ -142,10 +155,13 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Ports exist per NIC, not per process endpoint: with co-location
+	// (ProcsPerNode > 1) only ceil(Nodes/ProcsPerNode) NICs are ever
+	// indexed.
 	n := &Network{
 		cfg:      cfg,
-		sendFree: make([]float64, cfg.Nodes),
-		recvFree: make([]float64, cfg.Nodes),
+		sendFree: make([]float64, cfg.NICs()),
+		recvFree: make([]float64, cfg.NICs()),
 	}
 	if cfg.NoiseAmplitude > 0 {
 		n.rng = rand.New(rand.NewSource(cfg.NoiseSeed))
