@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race doccheck bench benchdiff benchpaper benchsmoke fuzzseed
+.PHONY: ci vet build test race doccheck bench benchdiff benchpaper benchsmoke fuzzseed covercheck
 
-ci: vet build test race benchsmoke fuzzseed doccheck
+ci: vet build test race benchsmoke fuzzseed covercheck doccheck
 
 vet:
 	$(GO) vet ./...
@@ -60,9 +60,21 @@ benchsmoke:
 
 # Run the fuzz targets over their seed corpus only (no fuzzing time):
 # each f.Add seed must keep the replay and scheduler engines
-# bit-identical.
+# bit-identical (experiment) and both selectors total (selection).
 fuzzseed:
-	$(GO) test -run='^Fuzz' ./internal/experiment/
+	$(GO) test -run='^Fuzz' ./internal/experiment/ ./internal/selection/
+
+# Coverage regression gate: total statement coverage of internal/... must
+# not drop below the recorded baseline (in percent, measured with a
+# shuffled, uncached run when the gate was introduced).
+COVER_BASELINE = 91.9
+covercheck:
+	$(GO) test -count=1 -shuffle=on -coverprofile=.cover.out ./internal/...
+	@total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f .cover.out; \
+	echo "covercheck: total internal coverage $$total% (baseline $(COVER_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t+0 < b+0) ? 1 : 0 }' || \
+		{ echo "covercheck: coverage dropped below baseline"; exit 1; }
 
 # Every internal/* package must have a package comment: `go doc` prints
 # the comment starting on line 3 (line 1 is the package clause, line 2 is

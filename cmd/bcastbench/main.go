@@ -11,7 +11,8 @@
 //
 //	bcastbench [-cluster grisou] [-np 90] [-algs binomial,binary] \
 //	           [-min 8192] [-max 4194304] [-points 10] [-seg 8192] \
-//	           [-workers 0] [-engine auto] [-cache DIR] \
+//	           [-workers 0] [-engine auto] [-cache DIR] [-v] \
+//	           [-perturb SPEC] [-perturb-random ε] [-perturb-seed N] \
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -engine selects how repetitions execute: auto (the default) captures
@@ -19,6 +20,13 @@
 // engine, falling back to the full scheduler when the structure is not
 // plan-stable; scheduler forces the slow path; replay forbids the
 // fallback. All three produce bit-identical measurements.
+//
+// -perturb composes a deterministic fault scenario onto the cluster
+// before sweeping (package perturb's spec syntax, e.g.
+// "straggler:node=0,cpu=2;link:src=0,dst=1,bw=4"); -perturb-random
+// generates one from an intensity in (0,1] and -perturb-seed. -v reports
+// how many measurements fell back from the replay engine to the
+// scheduler, and why.
 //
 // With -cpuprofile/-memprofile the tool records runtime/pprof profiles of
 // the sweep for `go tool pprof`; the heap profile is taken at exit.
@@ -30,12 +38,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"text/tabwriter"
 
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
 	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/perturb"
 	"mpicollperf/internal/profiling"
 	"mpicollperf/internal/stats"
 )
@@ -71,6 +81,10 @@ func run(args []string, out io.Writer) (err error) {
 	seg := fs.Int("seg", 0, "segment size (default: the platform's 8 KB)")
 	workers := fs.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial)")
 	engineFlag := fs.String("engine", "auto", "execution engine: auto (replay with scheduler fallback), scheduler, replay")
+	perturbFlag := fs.String("perturb", "", "perturbation spec to compose onto the cluster (e.g. \"straggler:node=0,cpu=2;jitter:pareto,alpha=2\")")
+	perturbRandom := fs.Float64("perturb-random", 0, "generate a random perturbation of this intensity in (0, 1]")
+	perturbSeed := fs.Int64("perturb-seed", 1, "seed for -perturb-random")
+	verbose := fs.Bool("v", false, "report replay-engine fallback counts after the sweep")
 	cacheDir := fs.String("cache", "", "reuse measurements from this directory (created if missing)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -100,6 +114,24 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	if *seg == 0 {
 		*seg = pr.SegmentSize
+	}
+	if *perturbFlag != "" && *perturbRandom != 0 {
+		return fmt.Errorf("-perturb and -perturb-random are mutually exclusive")
+	}
+	if *perturbFlag != "" {
+		spec, err := perturb.Parse(*perturbFlag)
+		if err != nil {
+			return err
+		}
+		if err := spec.Validate(pr.Net.NICs()); err != nil {
+			return err
+		}
+		pr = pr.Perturbed(spec)
+	} else if *perturbRandom != 0 {
+		if *perturbRandom < 0 || *perturbRandom > 1 {
+			return fmt.Errorf("-perturb-random %g outside (0, 1]", *perturbRandom)
+		}
+		pr = pr.Perturbed(perturb.Random(*perturbSeed, *perturbRandom, pr.Net.NICs()))
 	}
 	sizes, err := sweepSizes(*minM, *maxM, *points)
 	if err != nil {
@@ -150,6 +182,22 @@ func run(args []string, out io.Writer) (err error) {
 	}
 
 	fmt.Fprintf(out, "broadcast sweep on %s, P=%d, segment=%d B\n", pr.Name, *np, *seg)
+	if *verbose {
+		if counts := experiment.CountFallbacks(results); len(counts) == 0 {
+			fmt.Fprintln(out, "engine fallbacks: none")
+		} else {
+			reasons := make([]string, 0, len(counts))
+			for r := range counts {
+				reasons = append(reasons, string(r))
+			}
+			sort.Strings(reasons)
+			parts := make([]string, len(reasons))
+			for i, r := range reasons {
+				parts[i] = fmt.Sprintf("%s×%d", r, counts[experiment.FallbackReason(r)])
+			}
+			fmt.Fprintf(out, "engine fallbacks: %s\n", strings.Join(parts, ", "))
+		}
+	}
 	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
 	fmt.Fprint(w, "m (bytes)")
 	for _, alg := range algs {

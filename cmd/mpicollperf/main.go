@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|all}
+//	mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|robustness|all}
 //
 // Flags:
 //
@@ -16,9 +16,17 @@
 // The full-scale run uses the paper's parameters: up to 90 (Grisou) / 124
 // (Gros) processes, 10 message sizes from 8 KB to 4 MB, estimation with 40
 // (Grisou) / 124 (Gros) processes, 95%/2.5% measurement methodology.
+//
+// The robustness target goes beyond the paper: it re-scores the
+// model-based and Open MPI fixed selectors against the oracle on
+// deterministically perturbed variants of each cluster (random stragglers,
+// degraded links, and heavy-tailed jitter of increasing intensity; see
+// package perturb), reporting each selector's penalty as the platform
+// degrades.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,7 +63,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 || args[0] != "reproduce" {
-		return fmt.Errorf("usage: mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|all}")
+		return fmt.Errorf("usage: mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|robustness|all}")
 	}
 	fs := flag.NewFlagSet("reproduce", flag.ContinueOnError)
 	clusterFlag := fs.String("cluster", "both", "grisou, gros or both")
@@ -98,6 +106,8 @@ func run(args []string) error {
 			err = runFig5Table3(cfg, false, true)
 		case "ext":
 			err = runExt(cfg)
+		case "robustness":
+			err = runRobustness(cfg)
 		case "all":
 			if err = runFig1(cfg); err == nil {
 				if err = runTable1(cfg); err == nil {
@@ -209,6 +219,41 @@ func runExt(cfg runConfig) error {
 			return err
 		}
 		fmt.Printf("worst extension degradation: %.1f%%\n\n", tab.MaxDegradation())
+	}
+	return nil
+}
+
+// runRobustness generates the robustness artifact: models are fitted on
+// the quiet cluster (exactly as for fig5/table3), then both selectors are
+// scored against the oracle on deterministically perturbed variants of
+// increasing intensity. The whole artifact is reproducible: the
+// perturbation specs derive from a fixed seed.
+func runRobustness(cfg runConfig) error {
+	tab2, err := tables.GenerateTable2(cfg.profiles, cfg.estProcs, cfg.settings)
+	if err != nil {
+		return err
+	}
+	for _, pr := range cfg.profiles {
+		sel := selection.ModelBased{Models: tab2.Models[pr.Name]}
+		p := cfg.table3P[pr.Name]
+		if p > pr.Nodes {
+			p = pr.Nodes
+		}
+		rcfg := selection.RobustnessConfig{
+			P:           p,
+			Sizes:       cfg.sizes,
+			Intensities: []float64{0, 0.25, 0.5, 0.75, 1},
+			Seed:        1,
+			Settings:    cfg.settings,
+		}
+		rep, err := selection.Robustness(context.Background(), pr, sel, rcfg)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("robustness_%s_p%d", pr.Name, p)
+		if err := emit(cfg, name, rep.Render(), rep.CSV()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

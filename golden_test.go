@@ -16,6 +16,7 @@ import (
 	"mpicollperf/internal/coll"
 	"mpicollperf/internal/experiment"
 	"mpicollperf/internal/mpi"
+	"mpicollperf/internal/perturb"
 )
 
 // goldenProfile is Grisou restricted to a 16-node noisy cluster
@@ -55,6 +56,63 @@ var goldenSweepMeans = []float64{
 	0x1.efbf45faeadb5p-12, 0x1.e5708b39e80fbp-12, 0x1.603c2d248cd85p-11,
 	0x1.bfe4c1d59cf1bp-07, 0x1.07e28612a52a7p-09, 0x1.fdd38d2a5d4fdp-09,
 	0x1.1edf870e95c49p-09, 0x1.3bc0bbba1c176p-09, 0x1.fc4bb21d923b8p-09,
+}
+
+// goldenPerturbed pins two canonical perturbed scenarios on the golden
+// platform: one straggler node and one degraded link, the full
+// six-algorithm grid at 128 KiB. Both specs are time-invariant, so the
+// replay engine must reproduce them without falling back — the pins are
+// the perturbation layer's determinism contract across both engines.
+var goldenPerturbed = []struct {
+	spec  string
+	means []float64
+}{
+	{"straggler:node=3,cpu=1.5,nic=2", []float64{
+		0x1.cac9f825bb175p-10, 0x1.32c4d6ecc3c2ep-10, 0x1.683fa54a90b39p-11,
+		0x1.7010bb4ef14b3p-11, 0x1.48909256ef8d5p-11, 0x1.603c2d248cd85p-11,
+	}},
+	{"link:src=0,dst=5,lat=3,bw=4", []float64{
+		0x1.0f884f9cfb81ep-09, 0x1.110a367538c31p-10, 0x1.219487b79113dp-10,
+		0x1.efbf45faeadb5p-12, 0x1.e5708b39e80fbp-12, 0x1.603c2d248cd85p-11,
+	}},
+}
+
+// TestGoldenPerturbedSweepDeterminism asserts that the two canonical
+// perturbed runs reproduce their pinned means bit-identically on every
+// engine and worker count. A forced replay engine is included: these
+// specs are time-invariant, so the fallback path must not trigger.
+func TestGoldenPerturbedSweepDeterminism(t *testing.T) {
+	pr := goldenProfile(t)
+	set := experiment.Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 10, Warmup: 1}
+	grid := experiment.BcastGrid(16, coll.BcastAlgorithms(), []int{131072}, pr.SegmentSize)
+	for _, g := range goldenPerturbed {
+		spec, err := perturb.Parse(g.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prp := pr.Perturbed(spec)
+		for _, engine := range []experiment.Engine{experiment.EngineScheduler, experiment.EngineAuto, experiment.EngineReplay} {
+			for _, workers := range []int{1, 8} {
+				t.Run(fmt.Sprintf("%s/engine=%v/workers=%d", g.spec, engine, workers), func(t *testing.T) {
+					set := set
+					set.Engine = engine
+					sw := experiment.Sweep{Profile: prp, Settings: set, Workers: workers}
+					results, err := sw.Run(context.Background(), grid)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, r := range results {
+						if r.Meas.Mean != g.means[i] {
+							t.Errorf("point %v: mean = %x, golden %x", r.Point, r.Meas.Mean, g.means[i])
+						}
+						if r.Meas.Fallback != experiment.FallbackNone {
+							t.Errorf("point %v: unexpected fallback %q", r.Point, r.Meas.Fallback)
+						}
+					}
+				})
+			}
+		}
+	}
 }
 
 // TestGoldenBcastDeterminism asserts that MakeSpan and Transfers of every

@@ -29,6 +29,7 @@ package cluster
 import (
 	"fmt"
 
+	"mpicollperf/internal/perturb"
 	"mpicollperf/internal/simnet"
 )
 
@@ -53,6 +54,19 @@ type Profile struct {
 // Network builds a fresh simulator for the profile.
 func (pr Profile) Network() (*simnet.Network, error) {
 	return simnet.New(pr.Net)
+}
+
+// Perturbed returns a copy of the profile with the perturbation spec
+// composed onto its network (nil removes any existing perturbation). The
+// name is suffixed with the spec's compact form so reports and
+// measurement-cache keys distinguish perturbed platforms at a glance.
+func (pr Profile) Perturbed(spec *perturb.Spec) Profile {
+	out := pr
+	out.Net.Perturb = spec
+	if !spec.Empty() {
+		out.Name = pr.Name + "+" + spec.String()
+	}
+	return out
 }
 
 // WithNodes returns a copy of the profile restricted to n nodes.

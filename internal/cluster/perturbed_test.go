@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"mpicollperf/internal/perturb"
+)
+
+func TestPerturbed(t *testing.T) {
+	spec, err := perturb.Parse("straggler:node=0,cpu=2,nic=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := Grisou()
+	prp := pr.Perturbed(spec)
+	if prp.Net.Perturb != spec {
+		t.Fatal("spec not threaded into the network config")
+	}
+	if !strings.HasPrefix(prp.Name, pr.Name+"+") || !strings.Contains(prp.Name, "straggler") {
+		t.Fatalf("perturbed name %q must carry the spec", prp.Name)
+	}
+	if err := prp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prp.Network(); err != nil {
+		t.Fatal(err)
+	}
+	// The original profile is untouched (value semantics).
+	if pr.Net.Perturb != nil || pr.Name != "grisou" {
+		t.Fatal("Perturbed mutated its receiver")
+	}
+	// A nil spec composes to the unperturbed platform under the same name.
+	quiet := pr.Perturbed(nil)
+	if quiet.Name != pr.Name || quiet.Net.Perturb != nil {
+		t.Fatalf("nil spec changed the profile: %+v", quiet.Name)
+	}
+	// An out-of-range spec surfaces at Validate/Network time.
+	bad := pr.Perturbed(&perturb.Spec{Stragglers: []perturb.Straggler{{Node: 9999, NIC: 2}}})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range spec passed Validate")
+	}
+	if _, err := bad.Network(); err == nil {
+		t.Fatal("out-of-range spec passed Network")
+	}
+}

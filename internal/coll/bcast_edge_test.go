@@ -1,0 +1,64 @@
+package coll
+
+import (
+	"bytes"
+	"testing"
+
+	"mpicollperf/internal/mpi"
+)
+
+// TestBcastEdgeCases drives every broadcast algorithm through the
+// boundary geometries where tree construction and segmentation degenerate:
+// a lone process, the two-process tree, non-power-of-two communicators,
+// empty and single-byte payloads, and a segment size exceeding the
+// message. Each case must deliver the payload intact on every rank.
+func TestBcastEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		nprocs  int
+		size    int
+		segSize int
+	}{
+		{"P1/empty", 1, 0, 8192},
+		{"P1/one-byte", 1, 1, 8192},
+		{"P2/empty", 2, 0, 8192},
+		{"P2/one-byte", 2, 1, 8192},
+		{"P2/seg-exceeds-msg", 2, 100, 1 << 20},
+		{"P3/empty", 3, 0, 8192},
+		{"P3/one-byte", 3, 1, 8192},
+		{"P5/empty", 5, 0, 8192},
+		{"P5/one-byte", 5, 1, 8192},
+		{"P5/seg-exceeds-msg", 5, 4095, 8192},
+		{"P7/one-byte", 7, 1, 8192},
+		{"P7/seg-exceeds-msg", 7, 8191, 8192},
+		{"P12/empty", 12, 0, 8192},
+		{"P12/one-byte", 12, 1, 8192},
+		{"P13/seg-exceeds-msg", 13, 777, 1024},
+	}
+	for _, alg := range BcastAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, c := range cases {
+				t.Run(c.name, func(t *testing.T) {
+					payload := pattern(c.size, 7)
+					_, err := mpi.Run(testConfig(c.nprocs), c.nprocs, func(p *mpi.Proc) error {
+						var m Msg
+						if p.Rank() == 0 {
+							m = Bytes(append([]byte{}, payload...))
+						} else {
+							m = Bytes(make([]byte, c.size))
+						}
+						Bcast(p, alg, 0, m, c.segSize)
+						if !bytes.Equal(m.Data, payload) {
+							t.Errorf("rank %d: corrupted payload", p.Rank())
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		})
+	}
+}

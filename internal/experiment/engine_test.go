@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"fmt"
 	"testing"
 
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
 	"mpicollperf/internal/mpi"
+	"mpicollperf/internal/perturb"
 	"mpicollperf/internal/simnet"
 )
 
@@ -77,6 +79,12 @@ func TestEngineAutoFallsBackOnPayload(t *testing.T) {
 		t.Fatalf("auto engine failed on payload program: %v", err)
 	}
 	sameMeasurement(t, "payload fallback", ms, ma)
+	if ms.Fallback != FallbackNone {
+		t.Fatalf("scheduler engine reported fallback %q", ms.Fallback)
+	}
+	if ma.Fallback != FallbackPayload {
+		t.Fatalf("auto engine reported fallback %q, want %q", ma.Fallback, FallbackPayload)
+	}
 	if _, err := run(EngineReplay); err == nil {
 		t.Fatal("forced replay engine accepted a payload-carrying program")
 	}
@@ -108,8 +116,12 @@ func TestEngineAutoFallsBackOnStructuralChange(t *testing.T) {
 		set.Engine = e
 		return Measure(net, 2, set, Completion, op)
 	}
-	if _, err := run(EngineAuto); err != nil {
+	ma, err := run(EngineAuto)
+	if err != nil {
 		t.Fatalf("auto engine failed to fall back: %v", err)
+	}
+	if ma.Fallback != FallbackEchoDivergence {
+		t.Fatalf("auto engine reported fallback %q, want %q", ma.Fallback, FallbackEchoDivergence)
 	}
 	if _, err := run(EngineReplay); err == nil {
 		t.Fatal("forced replay engine accepted a structure-changing program")
@@ -145,8 +157,149 @@ func TestEngineAutoFallsBackOnMarkInOp(t *testing.T) {
 		t.Fatalf("auto engine failed on mark-calling op: %v", err)
 	}
 	sameMeasurement(t, "mark fallback", ms, ma)
+	if ma.Fallback != FallbackMarkInOp {
+		t.Fatalf("auto engine reported fallback %q, want %q", ma.Fallback, FallbackMarkInOp)
+	}
 	if _, err := run(EngineReplay); err == nil {
 		t.Fatal("forced replay engine accepted a mark-calling op")
+	}
+}
+
+// TestEngineFallsBackOnTimeVaryingPerturbation: a brownout makes the
+// effective link parameters depend on virtual time, so a captured plan
+// cannot be re-timed. Auto must fall back (before even capturing) with
+// the reason surfaced, bit-identically; forced replay must refuse.
+func TestEngineFallsBackOnTimeVaryingPerturbation(t *testing.T) {
+	spec, err := perturb.Parse("brownout:src=0,dst=1,start=0,end=1,bw=25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := func(p *mpi.Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 0, nil, 4096)
+		} else {
+			p.Recv(0, 0, nil)
+		}
+	}
+	run := func(e Engine) (Measurement, error) {
+		cfg := noisyConfig(2)
+		cfg.Perturb = spec
+		net, err := simnet.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := fastSettings()
+		set.Engine = e
+		return Measure(net, 2, set, Completion, op)
+	}
+	ms, err := run(EngineScheduler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := run(EngineAuto)
+	if err != nil {
+		t.Fatalf("auto engine failed under brownout: %v", err)
+	}
+	sameMeasurement(t, "brownout fallback", ms, ma)
+	if ma.Fallback != FallbackTimeVarying {
+		t.Fatalf("auto engine reported fallback %q, want %q", ma.Fallback, FallbackTimeVarying)
+	}
+	if _, err := run(EngineReplay); err == nil {
+		t.Fatal("forced replay engine accepted a time-varying perturbation")
+	}
+}
+
+// TestCountFallbacks runs a small sweep on a brownout-perturbed profile
+// and asserts the per-reason fallback tally, then checks that the same
+// sweep unperturbed (and a cached rerun of the perturbed one) counts
+// nothing.
+func TestCountFallbacks(t *testing.T) {
+	pr, err := cluster.Grisou().WithNodes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := BcastGrid(8, []coll.BcastAlgorithm{coll.BcastBinary, coll.BcastChain}, []int{4096}, 0)
+
+	quiet := Sweep{Profile: pr, Settings: fastSettings()}
+	res, err := quiet.Run(nil, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountFallbacks(res); len(n) != 0 {
+		t.Fatalf("unperturbed sweep counted fallbacks: %v", n)
+	}
+
+	spec, err := perturb.Parse("brownout:src=0,dst=1,start=0,end=0.001,bw=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prp := pr
+	prp.Net.Perturb = spec
+	cache := NewCache()
+	sw := Sweep{Profile: prp, Settings: fastSettings(), Cache: cache}
+	res, err = sw.Run(nil, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := CountFallbacks(res)
+	if counts[FallbackTimeVarying] != len(points) {
+		t.Fatalf("counted %v, want %d × %q", counts, len(points), FallbackTimeVarying)
+	}
+	// Cached reruns count nothing: the fallback belongs to the run that
+	// produced the measurement.
+	res, err = sw.Run(nil, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if !r.Cached {
+			t.Fatalf("point %v not served from cache", r.Point)
+		}
+	}
+	if n := CountFallbacks(res); len(n) != 0 {
+		t.Fatalf("cached sweep counted fallbacks: %v", n)
+	}
+}
+
+// TestPerturbedReplayMatchesScheduler is the differential determinism
+// check over random perturbation specs: for deterministically generated
+// time-invariant specs across seeds and intensities, the auto engine must
+// (a) take the replay path and (b) reproduce the scheduler engine bit for
+// bit; and the same seed + spec must reproduce itself exactly.
+func TestPerturbedReplayMatchesScheduler(t *testing.T) {
+	base, err := cluster.Grisou().WithNodes(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, intensity := range []float64{0.1, 0.5, 1.0} {
+			spec := perturb.Random(seed, intensity, base.Net.NICs())
+			if spec == nil {
+				t.Fatalf("seed %d intensity %g: nil spec", seed, intensity)
+			}
+			if !spec.TimeInvariant() {
+				t.Fatalf("seed %d intensity %g: Random emitted a time-varying spec", seed, intensity)
+			}
+			pr := base
+			pr.Net.Perturb = spec
+			run := func(e Engine) Measurement {
+				set := fastSettings()
+				set.Engine = e
+				m, err := MeasureBcast(pr, 12, coll.BcastSplitBinary, 65536, 8192, set)
+				if err != nil {
+					t.Fatalf("seed %d intensity %g engine %v: %v", seed, intensity, e, err)
+				}
+				return m
+			}
+			label := fmt.Sprintf("seed=%d ε=%g", seed, intensity)
+			ms := run(EngineScheduler)
+			ma := run(EngineAuto)
+			sameMeasurement(t, label, ms, ma)
+			if ma.Fallback != FallbackNone {
+				t.Fatalf("%s: auto fell back (%q) under a time-invariant spec", label, ma.Fallback)
+			}
+			sameMeasurement(t, label+" rerun", ms, run(EngineScheduler))
+		}
 	}
 }
 
@@ -168,16 +321,17 @@ func TestParseEngine(t *testing.T) {
 }
 
 // FuzzReplayMatchesScheduler fuzzes the engine equivalence over cluster
-// shape, co-location, algorithm, message and segment size, and noise: for
-// any configuration, the auto engine (replay with fallback) must produce
-// a measurement bit-identical to the scheduler engine.
+// shape, co-location, algorithm, message and segment size, noise, and
+// random perturbation specs: for any configuration, the auto engine
+// (replay with fallback) must produce a measurement bit-identical to the
+// scheduler engine.
 func FuzzReplayMatchesScheduler(f *testing.F) {
-	f.Add(uint8(8), uint8(1), uint8(0), uint16(64), uint8(1), uint8(50), int64(1))
-	f.Add(uint8(16), uint8(2), uint8(3), uint16(256), uint8(2), uint8(30), int64(1001))
-	f.Add(uint8(5), uint8(1), uint8(5), uint16(8), uint8(0), uint8(0), int64(7))
-	f.Add(uint8(12), uint8(3), uint8(2), uint16(1024), uint8(1), uint8(80), int64(-3))
-	f.Add(uint8(3), uint8(2), uint8(1), uint16(1), uint8(3), uint8(10), int64(42))
-	f.Fuzz(func(t *testing.T, nodes, ppn, algIdx uint8, msgKB uint16, segSel, noiseMil uint8, seed int64) {
+	f.Add(uint8(8), uint8(1), uint8(0), uint16(64), uint8(1), uint8(50), int64(1), uint8(0))
+	f.Add(uint8(16), uint8(2), uint8(3), uint16(256), uint8(2), uint8(30), int64(1001), uint8(0))
+	f.Add(uint8(5), uint8(1), uint8(5), uint16(8), uint8(0), uint8(0), int64(7), uint8(40))
+	f.Add(uint8(12), uint8(3), uint8(2), uint16(1024), uint8(1), uint8(80), int64(-3), uint8(100))
+	f.Add(uint8(3), uint8(2), uint8(1), uint16(1), uint8(3), uint8(10), int64(42), uint8(75))
+	f.Fuzz(func(t *testing.T, nodes, ppn, algIdx uint8, msgKB uint16, segSel, noiseMil uint8, seed int64, pertCent uint8) {
 		nprocs := 2 + int(nodes)%15 // 2..16
 		cfg := simnet.Config{
 			Nodes:        nprocs,
@@ -195,6 +349,10 @@ func FuzzReplayMatchesScheduler(f *testing.F) {
 		if amp := float64(noiseMil%101) / 1000; amp > 0 {
 			cfg.NoiseAmplitude = amp
 			cfg.NoiseSeed = seed
+		}
+		if intensity := float64(pertCent%101) / 100; intensity > 0 {
+			// Random specs are time-invariant, so replay must still match.
+			cfg.Perturb = perturb.Random(seed, intensity, cfg.NICs())
 		}
 		algs := coll.BcastAlgorithms()
 		alg := algs[int(algIdx)%len(algs)]

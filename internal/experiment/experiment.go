@@ -67,6 +67,33 @@ func ParseEngine(s string) (Engine, error) {
 	}
 }
 
+// FallbackReason says why a measurement that was eligible for the replay
+// engine ran under the scheduler instead. The empty reason means no
+// fallback happened (replay was used, or the scheduler engine was forced).
+type FallbackReason string
+
+const (
+	// FallbackNone: the replay engine was used (or was never attempted
+	// because the scheduler engine was forced).
+	FallbackNone FallbackReason = ""
+	// FallbackPayload: the program carries real payload bytes, which an
+	// echo validation run cannot deliver.
+	FallbackPayload FallbackReason = "payload"
+	// FallbackMarkInOp: the operation itself calls Mark, so the replay
+	// cannot attribute mark clocks to repetition boundaries.
+	FallbackMarkInOp FallbackReason = "mark-in-op"
+	// FallbackPlan: the captured repetition does not compile into (or
+	// replay as) a self-contained plan.
+	FallbackPlan FallbackReason = "plan"
+	// FallbackEchoDivergence: the echo run's operation stream diverged
+	// from the plan — the program's structure depends on the jitter drawn.
+	FallbackEchoDivergence FallbackReason = "echo-divergence"
+	// FallbackTimeVarying: the network carries a time-windowed
+	// perturbation (a brownout), whose effective parameters depend on
+	// virtual time; a captured plan cannot be re-timed under it.
+	FallbackTimeVarying FallbackReason = "time-varying-perturbation"
+)
+
 // Settings controls the adaptive repetition loop.
 type Settings struct {
 	// Confidence is the CI level (default 0.95).
@@ -134,6 +161,12 @@ type Measurement struct {
 	Lag1 float64
 	// Samples holds the raw repetition times.
 	Samples []float64
+	// Fallback records why the replay engine was not used (empty when it
+	// was, or when the scheduler engine was forced). It is observability
+	// metadata, not part of the measured value: samples are bit-identical
+	// either way, so it is excluded from serialised forms (a measurement
+	// loaded from the disk cache always reports no fallback).
+	Fallback FallbackReason `json:"-"`
 }
 
 // Op is one invocation of the operation under measurement, executed by
@@ -169,17 +202,27 @@ func MeasureOn(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (Measu
 	if set.Engine == EngineScheduler {
 		return measureScheduler(r, nprocs, set, mode, op)
 	}
-	meas, ok, err := measureReplay(r, nprocs, set, mode, op)
-	if err != nil {
-		return Measurement{}, err
-	}
-	if ok {
-		return meas, nil
+	why := FallbackNone
+	if r.Network().ReplayInvariant() {
+		meas, reason, err := measureReplay(r, nprocs, set, mode, op)
+		if err != nil {
+			return Measurement{}, err
+		}
+		if reason == FallbackNone {
+			return meas, nil
+		}
+		why = reason
+	} else {
+		// A time-windowed perturbation makes the effective timing depend on
+		// virtual time; don't even capture.
+		why = FallbackTimeVarying
 	}
 	if set.Engine == EngineReplay {
-		return Measurement{}, fmt.Errorf("experiment: replay engine: execution structure varies across repetitions; use the scheduler engine")
+		return Measurement{}, fmt.Errorf("experiment: replay engine: cannot replay this measurement (%s); use the scheduler engine", why)
 	}
-	return measureScheduler(r, nprocs, set, mode, op)
+	meas, err := measureScheduler(r, nprocs, set, mode, op)
+	meas.Fallback = why
+	return meas, err
 }
 
 // measureScheduler is the full-scheduler repetition loop: one simulated
@@ -263,11 +306,11 @@ const replayLanes = 8
 // noise-stream position). The sample sequence, and therefore the
 // Measurement, is bit-identical to measureScheduler's.
 //
-// ok is false when the echo detects structural divergence, the program
-// carries payload bytes (which an echo cannot deliver), or the plan does
-// not close over a repetition: the measurement then belongs to the
-// scheduler engine, and the caller reruns it there.
-func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (meas Measurement, ok bool, err error) {
+// A non-empty reason means the measurement belongs to the scheduler
+// engine — the echo detected structural divergence, the program carries
+// payload bytes (which an echo cannot deliver), or the plan does not
+// close over a repetition — and the caller reruns it there.
+func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (meas Measurement, reason FallbackReason, err error) {
 	var (
 		captured    float64
 		barrierCost float64
@@ -307,14 +350,17 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 		return nil
 	})
 	if err != nil {
-		return Measurement{}, false, err
+		return Measurement{}, FallbackNone, err
 	}
 
-	// The capturing root marked 3 points; anything else means op itself
-	// calls Mark, which the replay cannot attribute. Payload-carrying
-	// programs cannot be echo-validated (plans hold structure, not data).
-	if cap.MarkCount() != 3 || cap.HasPayload() {
-		return Measurement{}, false, nil
+	// Payload-carrying programs cannot be echo-validated (plans hold
+	// structure, not data). The capturing root marked 3 points; anything
+	// else means op itself calls Mark, which the replay cannot attribute.
+	if cap.HasPayload() {
+		return Measurement{}, FallbackPayload, nil
+	}
+	if cap.MarkCount() != 3 {
+		return Measurement{}, FallbackMarkInOp, nil
 	}
 	// The plan spans everything after the boundary mark: open barrier,
 	// sample marks, the operation, and the decide barrier — one complete
@@ -322,7 +368,7 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 	// iterations do.
 	plan, perr := r.CompilePlan(cap, 0, -1)
 	if perr != nil || plan.Marks() != 2 {
-		return Measurement{}, false, nil
+		return Measurement{}, FallbackPlan, nil
 	}
 
 	// Replicate the adaptive decision of the scheduler loop's root over
@@ -352,17 +398,17 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 		}
 		if lanes < 1 {
 			// The scheduler loop would already have stopped; defensive.
-			return Measurement{}, false, nil
+			return Measurement{}, FallbackPlan, nil
 		}
 		rp, rerr := mpi.NewReplayer(r.Network(), plan, res.FinishTimes, lanes)
 		if rerr != nil {
-			return Measurement{}, false, rerr
+			return Measurement{}, FallbackNone, rerr
 		}
 		// Replay repetition 1 alone, then echo-validate the plan against
 		// its clocks before trusting any replayed sample.
 		marks, mok := rp.Replay(1)
 		if !mok {
-			return Measurement{}, false, nil
+			return Measurement{}, FallbackPlan, nil
 		}
 		eerr := r.EchoRun(plan, rp.EchoClocks(), res.FinishTimes, func(p *mpi.Proc) error {
 			root := p.Rank() == 0
@@ -381,7 +427,7 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 			return nil
 		})
 		if eerr != nil {
-			return Measurement{}, false, nil
+			return Measurement{}, FallbackEchoDivergence, nil
 		}
 		// The plan is validated; later repetitions need no echo clocks.
 		rp.DiscardEchoClocks()
@@ -409,11 +455,11 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 				k = rem
 			}
 			if k < 1 {
-				return Measurement{}, false, nil
+				return Measurement{}, FallbackPlan, nil
 			}
 			marks, mok := rp.Replay(k)
 			if !mok {
-				return Measurement{}, false, nil
+				return Measurement{}, FallbackPlan, nil
 			}
 			for l := 0; l < k && !stop; l++ {
 				sample := marks[l*2+1] - marks[l*2]
@@ -427,7 +473,7 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 			}
 		}
 	}
-	return finishMeasurement(meas), true, nil
+	return finishMeasurement(meas), FallbackNone, nil
 }
 
 // MeasureBcast measures one broadcast configuration on a cluster profile:

@@ -80,6 +80,25 @@ type Result struct {
 	Cached bool
 }
 
+// CountFallbacks tallies, per reason, the sweep results whose measurement
+// fell back from the replay engine to the scheduler (Measurement.Fallback).
+// The total map is empty when nothing fell back. Cached results never
+// count: the fallback reason is observability metadata of the run that
+// produced the measurement, not of the measurement itself.
+func CountFallbacks(results []Result) map[FallbackReason]int {
+	var counts map[FallbackReason]int
+	for _, r := range results {
+		if r.Cached || r.Meas.Fallback == FallbackNone {
+			continue
+		}
+		if counts == nil {
+			counts = make(map[FallbackReason]int)
+		}
+		counts[r.Meas.Fallback]++
+	}
+	return counts
+}
+
 // Progress observes sweep completion events. It is called once per grid
 // point, serialised (never concurrently), with the number of points
 // finished so far, the grid size, and the point's result. Completion

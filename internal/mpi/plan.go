@@ -63,6 +63,7 @@ type capKey struct {
 // goroutine; all methods are called from there.
 type capture struct {
 	nprocs      int
+	net         *simnet.Network
 	cfg         simnet.Config
 	barrierCost float64
 	events      []capEvent
@@ -80,6 +81,7 @@ type capture struct {
 func newCapture(net *simnet.Network, nprocs int, barrierCost float64) *capture {
 	return &capture{
 		nprocs:      nprocs,
+		net:         net,
 		cfg:         net.Config(),
 		barrierCost: barrierCost,
 		unexp:       make(map[capKey][]int32),
@@ -92,6 +94,7 @@ func newCapture(net *simnet.Network, nprocs int, barrierCost float64) *capture {
 // per grid point.
 func (c *capture) reset(net *simnet.Network, nprocs int, barrierCost float64) {
 	c.nprocs = nprocs
+	c.net = net
 	c.cfg = net.Config()
 	c.barrierCost = barrierCost
 	c.events = c.events[:0]
@@ -183,6 +186,7 @@ func (c *capture) recvPending(op *operation, key matchKey) {
 // Capture is the immutable trace of one RunCapture run.
 type Capture struct {
 	nprocs      int
+	net         *simnet.Network
 	cfg         simnet.Config
 	barrierCost float64
 	slots       int
@@ -202,14 +206,14 @@ func (c *Capture) MarkCount() int { return len(c.marks) }
 func (c *Capture) HasPayload() bool { return c.payload }
 
 // planEvent is one event of a compiled Plan. All times are precomputed
-// structural constants (byte counts multiplied by the per-byte port
-// times); virtual times are produced only at replay. The owning rank is
-// implicit: events are stored rank-major (see Plan.rankOff).
+// structural constants (the send's effective LinkTiming from
+// simnet.Network.TimingFor, which folds in any time-invariant
+// perturbations); virtual times are produced only at replay. The owning
+// rank is implicit: events are stored rank-major (see Plan.rankOff).
 type planEvent struct {
 	kind   evKind
 	srcNIC int32
 	dstNIC int32
-	local  bool // co-located send: shared NIC, no ports, no jitter
 	draws  bool // consumes one jitter factor
 	slot   int32
 	// send: the recv slot the message binds, -1 if never received.
@@ -217,14 +221,15 @@ type planEvent struct {
 	// peer rank, message tag, and byte count (for a receive: the matched
 	// message's size), kept so an echo run can byte-compare a re-executed
 	// operation stream against the plan.
-	peer   int
-	tag    int
-	bytes  int
-	txTime float64 // bytes·ByteTimeSend, or bytes·IntraNodeByteTime when local
-	rxTime float64 // bytes·ByteTimeRecv
-	dur    float64
-	wOff   int32
-	wLen   int32
+	peer  int
+	tag   int
+	bytes int
+	// lt is the send's effective timing parameters (zero for non-sends);
+	// lt.Local marks a co-located send: shared NIC, no ports, no jitter.
+	lt   simnet.LinkTiming
+	dur  float64
+	wOff int32
+	wLen int32
 }
 
 // Plan is the immutable, replayable structure of one repetition: the
@@ -241,13 +246,12 @@ type planEvent struct {
 // Replayer recomputes the interleaving per repetition exactly as the
 // scheduler would have.
 type Plan struct {
-	nprocs       int
-	nics         int
-	slots        int
-	draws        int // jitter factors consumed per replay pass
-	marks        int // mark events per replay pass
-	barrierCost  float64
-	sendOverhead float64
+	nprocs      int
+	nics        int
+	slots       int
+	draws       int // jitter factors consumed per replay pass
+	marks       int // mark events per replay pass
+	barrierCost float64
 	// rankOff[r]..rankOff[r+1] bound rank r's events; len nprocs+1.
 	rankOff   []int32
 	events    []planEvent
@@ -312,11 +316,10 @@ func (c *Capture) plan(p *Plan, scratch *planScratch, fromMark, toMark int) (*Pl
 		hi = int(c.marks[toMark])
 	}
 	*p = Plan{
-		nprocs:       c.nprocs,
-		nics:         c.cfg.NICs(),
-		barrierCost:  c.barrierCost,
-		sendOverhead: c.cfg.SendOverhead,
-		rankOff:      growI32(p.rankOff, c.nprocs+1),
+		nprocs:      c.nprocs,
+		nics:        c.cfg.NICs(),
+		barrierCost: c.barrierCost,
+		rankOff:     growI32(p.rankOff, c.nprocs+1),
 		events:       p.events[:0],
 		waitSlots:    p.waitSlots[:0],
 		slotOwner:    p.slotOwner[:0],
@@ -419,13 +422,9 @@ func (c *Capture) plan(p *Plan, scratch *planScratch, fromMark, toMark int) (*Pl
 				pe.slot = remap[e.slot]
 				pe.srcNIC = int32(c.cfg.NIC(int(e.rank)))
 				pe.dstNIC = int32(c.cfg.NIC(e.peer))
-				if pe.srcNIC == pe.dstNIC {
-					pe.local = true
-					pe.txTime = float64(e.bytes) * c.cfg.IntraNodeByteTime
-				} else {
-					pe.txTime = float64(e.bytes) * c.cfg.ByteTimeSend
-					pe.rxTime = float64(e.bytes) * c.cfg.ByteTimeRecv
-					pe.draws = noisy && pe.txTime > 0
+				pe.lt = c.net.TimingFor(int(e.rank), e.peer, e.bytes)
+				if !pe.lt.Local {
+					pe.draws = noisy && pe.lt.TxTime > 0
 					if pe.draws {
 						p.draws++
 					}
@@ -487,7 +486,7 @@ func (c *Capture) plan(p *Plan, scratch *planScratch, fromMark, toMark int) (*Pl
 func (p *Plan) EquivalentTo(q *Plan) bool {
 	if p.nprocs != q.nprocs || p.nics != q.nics || p.slots != q.slots ||
 		p.draws != q.draws || p.marks != q.marks ||
-		p.barrierCost != q.barrierCost || p.sendOverhead != q.sendOverhead ||
+		p.barrierCost != q.barrierCost ||
 		len(p.events) != len(q.events) || len(p.waitSlots) != len(q.waitSlots) {
 		return false
 	}

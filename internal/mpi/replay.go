@@ -189,15 +189,15 @@ func (r *Replayer) replayLane(l int) bool {
 			// parked on it; no wake needed.
 		case evSend:
 			var sc, delivered float64
-			if e.local {
-				sc, delivered = r.ports.TransmitLocal(key, e.txTime)
+			if e.lt.Local {
+				sc, delivered = r.ports.TransmitLocal(e.lt, key)
 			} else {
 				f := 1.0
 				if e.draws {
 					f = r.jit[r.ji]
 					r.ji++
 				}
-				sc, delivered = r.ports.Transmit(l, int(e.srcNIC), int(e.dstNIC), e.txTime, e.rxTime, key, f)
+				sc, delivered = r.ports.Transmit(l, int(e.srcNIC), int(e.dstNIC), e.lt, key, f)
 			}
 			r.reqAt[e.slot] = sc
 			r.pend[e.slot] = 0
@@ -207,7 +207,7 @@ func (r *Replayer) replayLane(l int) bool {
 					r.wake(int(p.slotOwner[ps]))
 				}
 			}
-			key += p.sendOverhead
+			key += e.lt.SendOv
 			r.laneClock[rank] = key
 		}
 		if r.clk != nil {

@@ -129,6 +129,7 @@ func (r *Runner) run(nprocs int, fn func(*Proc) error, record bool) (Result, *Ca
 		if err == nil {
 			cap = &Capture{
 				nprocs:      rec.nprocs,
+				net:         rec.net,
 				cfg:         rec.cfg,
 				barrierCost: rec.barrierCost,
 				slots:       int(rec.nextSlot),

@@ -435,7 +435,7 @@ func (s *scheduler) process(op *operation) {
 			s.putOp(op)
 			return
 		}
-		s.release(op.rank, reply{clock: op.clock + s.net.Config().SendOverhead})
+		s.release(op.rank, reply{clock: op.clock + s.net.SendOverheadOf(op.rank)})
 		s.putOp(op)
 	case opIrecv:
 		ms := s.match[op.rank]
@@ -553,6 +553,10 @@ func (s *scheduler) maybeReleaseBarrier() {
 
 // barrierCost models a dissemination barrier: ceil(log2 P) rounds of a
 // zero-byte exchange.
+// barrierCost is an analytical constant, deliberately computed from the
+// unperturbed Config: barriers are global separators between repetitions,
+// and keeping their cost perturbation-free keeps scheduler and replay
+// trivially consistent (the plan stores the same constant).
 func (s *scheduler) barrierCost() float64 {
 	rounds := s.opts.BarrierRounds
 	if rounds <= 0 {

@@ -1,0 +1,420 @@
+// Package perturb describes deterministic, seed-reproducible fault and
+// perturbation scenarios that compose onto a simnet cluster. The paper's
+// selector is validated on a quiet, homogeneous platform; this package
+// opens the "imperfect cluster" scenario family — stragglers, degraded
+// links, transient brownouts, heavy-tailed jitter — so that selection
+// quality can be stress-tested under exactly the platform shifts that make
+// hard-coded decision functions mis-rank algorithms.
+//
+// A Spec is pure data: it never draws randomness of its own at simulation
+// time. Random builds a spec from a seed and an intensity knob, and the
+// same (seed, intensity, node count) always yields the same spec, so
+// perturbed experiments are as reproducible as unperturbed ones. All
+// perturbations except brownouts are time-invariant: the effective link
+// parameters do not depend on virtual time, which is what lets the
+// plan-replay measurement engine re-time perturbed repetitions. Brownouts
+// are time-windowed and force the scheduler engine (the measurement
+// harness falls back automatically and reports why).
+//
+// The package is a leaf: simnet imports it, never the reverse.
+package perturb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// JitterDist selects the distribution of the multiplicative transmission
+// jitter (1+ε). All distributions consume exactly one uniform draw per
+// noisy transfer, so the scheduler and replay engines stay in lockstep on
+// the noise stream regardless of the distribution.
+type JitterDist int
+
+const (
+	// JitterUniform is the default: ε uniform on [0, amplitude], the
+	// model the unperturbed simulator has always used.
+	JitterUniform JitterDist = iota
+	// JitterExponential draws ε = amplitude·Exp(1): light tail, but
+	// unbounded — occasional transfers are much slower than the mean.
+	JitterExponential
+	// JitterPareto draws ε = amplitude·(Pareto(α)-1): a heavy tail whose
+	// index α (ParetoAlpha) controls how extreme the stragglers are;
+	// α ≤ 2 has infinite variance. This models the OS/switch interference
+	// bursts that dominate collective tuning noise in practice.
+	JitterPareto
+)
+
+// String names the distribution as Parse accepts it.
+func (d JitterDist) String() string {
+	switch d {
+	case JitterUniform:
+		return "uniform"
+	case JitterExponential:
+		return "exponential"
+	case JitterPareto:
+		return "pareto"
+	}
+	return fmt.Sprintf("JitterDist(%d)", int(d))
+}
+
+// Factor maps one uniform draw u ∈ [0,1) to the multiplicative (1+ε)
+// transmission-time factor. For JitterUniform this is exactly the
+// 1 + amplitude·u of the unperturbed simulator, bit for bit; the other
+// distributions transform the same draw, so one transfer always consumes
+// one stream position. alpha is the Pareto tail index (ParetoAlpha; values
+// below 1 are clamped to 1).
+func (d JitterDist) Factor(amplitude, alpha, u float64) float64 {
+	switch d {
+	case JitterExponential:
+		return 1 + amplitude*(-math.Log(1-u))
+	case JitterPareto:
+		if alpha < 1 {
+			alpha = 1
+		}
+		return 1 + amplitude*(math.Pow(1-u, -1/alpha)-1)
+	default:
+		return 1 + amplitude*u
+	}
+}
+
+// Straggler slows one physical node down. Factors are multiplicative time
+// scalings (≥ 1 slows the node; a zero field means "unperturbed").
+type Straggler struct {
+	// Node is the physical node (NIC index) affected.
+	Node int
+	// Compute scales the node's CPU overheads (send/receive overhead).
+	Compute float64
+	// NIC scales the node's per-byte port times in both directions (its
+	// injection and drain bandwidth both drop by this factor).
+	NIC float64
+}
+
+// LinkRule degrades one directed NIC-pair link. Factors are multiplicative
+// time scalings (≥ 1 degrades; zero means "unperturbed").
+type LinkRule struct {
+	// Src and Dst are physical node (NIC) indices; the rule applies to
+	// transfers from Src to Dst only. Add the mirrored rule for a
+	// symmetric degradation.
+	Src, Dst int
+	// Latency scales the wire latency of the link.
+	Latency float64
+	// Bandwidth scales the per-byte transfer time of the link (a factor of
+	// 4 means the link runs at a quarter of its bandwidth).
+	Bandwidth float64
+}
+
+// Brownout is a transient, time-windowed bandwidth collapse on one
+// directed link: transfers whose transmission starts in [Start, End) have
+// their per-byte time scaled by Bandwidth. Brownouts are the only
+// time-varying perturbation and therefore force the scheduler measurement
+// engine (replay cannot re-time them, because which repetitions fall in
+// the window depends on the timing being recomputed).
+type Brownout struct {
+	Src, Dst   int
+	Start, End float64 // virtual-time window, seconds
+	Bandwidth  float64 // per-byte time scaling during the window
+}
+
+// Spec is a complete perturbation scenario. The zero value (and nil) is
+// the unperturbed platform. Specs are pure data and safe to share; they
+// serialise to JSON, which makes them part of measurement-cache keys.
+type Spec struct {
+	Stragglers []Straggler `json:",omitempty"`
+	Links      []LinkRule  `json:",omitempty"`
+	Brownouts  []Brownout  `json:",omitempty"`
+	// Jitter selects the transmission-jitter distribution; the amplitude
+	// stays the platform's NoiseAmplitude.
+	Jitter JitterDist `json:",omitempty"`
+	// ParetoAlpha is the tail index of JitterPareto (default 2 when zero).
+	ParetoAlpha float64 `json:",omitempty"`
+}
+
+// Empty reports whether the spec perturbs nothing at all.
+func (s *Spec) Empty() bool {
+	return s == nil || (len(s.Stragglers) == 0 && len(s.Links) == 0 &&
+		len(s.Brownouts) == 0 && s.Jitter == JitterUniform)
+}
+
+// TimeInvariant reports whether every perturbation in the spec is
+// independent of virtual time. Time-invariant specs can be re-timed by the
+// plan-replay measurement engine; specs with brownouts cannot and fall
+// back to the scheduler.
+func (s *Spec) TimeInvariant() bool {
+	return s == nil || len(s.Brownouts) == 0
+}
+
+// factorValid reports whether a perturbation factor field is usable: zero
+// (meaning "leave unperturbed") or strictly positive.
+func factorValid(f float64) bool {
+	return f == 0 || (f > 0 && !math.IsInf(f, 1) && !math.IsNaN(f))
+}
+
+// Validate checks the spec against a cluster of nics physical nodes.
+func (s *Spec) Validate(nics int) error {
+	if s == nil {
+		return nil
+	}
+	for _, st := range s.Stragglers {
+		if st.Node < 0 || st.Node >= nics {
+			return fmt.Errorf("perturb: straggler node %d outside 0..%d", st.Node, nics-1)
+		}
+		if !factorValid(st.Compute) || !factorValid(st.NIC) {
+			return fmt.Errorf("perturb: straggler node %d: factors must be positive (compute=%v nic=%v)", st.Node, st.Compute, st.NIC)
+		}
+	}
+	for _, l := range s.Links {
+		if l.Src < 0 || l.Src >= nics || l.Dst < 0 || l.Dst >= nics {
+			return fmt.Errorf("perturb: link %d->%d outside 0..%d", l.Src, l.Dst, nics-1)
+		}
+		if l.Src == l.Dst {
+			return fmt.Errorf("perturb: link rule on self-link %d", l.Src)
+		}
+		if !factorValid(l.Latency) || !factorValid(l.Bandwidth) {
+			return fmt.Errorf("perturb: link %d->%d: factors must be positive (latency=%v bandwidth=%v)", l.Src, l.Dst, l.Latency, l.Bandwidth)
+		}
+	}
+	for _, b := range s.Brownouts {
+		if b.Src < 0 || b.Src >= nics || b.Dst < 0 || b.Dst >= nics {
+			return fmt.Errorf("perturb: brownout %d->%d outside 0..%d", b.Src, b.Dst, nics-1)
+		}
+		if b.Src == b.Dst {
+			return fmt.Errorf("perturb: brownout on self-link %d", b.Src)
+		}
+		if !(b.End > b.Start) || b.Start < 0 {
+			return fmt.Errorf("perturb: brownout %d->%d window [%v, %v) is empty or negative", b.Src, b.Dst, b.Start, b.End)
+		}
+		if b.Bandwidth <= 0 || math.IsInf(b.Bandwidth, 1) || math.IsNaN(b.Bandwidth) {
+			return fmt.Errorf("perturb: brownout %d->%d: bandwidth factor %v must be positive", b.Src, b.Dst, b.Bandwidth)
+		}
+	}
+	if s.Jitter < JitterUniform || s.Jitter > JitterPareto {
+		return fmt.Errorf("perturb: unknown jitter distribution %d", int(s.Jitter))
+	}
+	if s.ParetoAlpha < 0 || math.IsNaN(s.ParetoAlpha) {
+		return fmt.Errorf("perturb: negative Pareto alpha %v", s.ParetoAlpha)
+	}
+	return nil
+}
+
+// String renders the spec in the compact form Parse accepts.
+func (s *Spec) String() string {
+	if s.Empty() {
+		return "none"
+	}
+	var parts []string
+	for _, st := range s.Stragglers {
+		parts = append(parts, fmt.Sprintf("straggler:node=%d,cpu=%g,nic=%g", st.Node, orOne(st.Compute), orOne(st.NIC)))
+	}
+	for _, l := range s.Links {
+		parts = append(parts, fmt.Sprintf("link:src=%d,dst=%d,lat=%g,bw=%g", l.Src, l.Dst, orOne(l.Latency), orOne(l.Bandwidth)))
+	}
+	for _, b := range s.Brownouts {
+		parts = append(parts, fmt.Sprintf("brownout:src=%d,dst=%d,start=%g,end=%g,bw=%g", b.Src, b.Dst, b.Start, b.End, b.Bandwidth))
+	}
+	if s.Jitter != JitterUniform {
+		j := "jitter:" + s.Jitter.String()
+		if s.Jitter == JitterPareto && s.ParetoAlpha > 0 {
+			j += fmt.Sprintf(",alpha=%g", s.ParetoAlpha)
+		}
+		parts = append(parts, j)
+	}
+	return strings.Join(parts, ";")
+}
+
+func orOne(f float64) float64 {
+	if f == 0 {
+		return 1
+	}
+	return f
+}
+
+// Parse reads the compact spec syntax used by command-line flags:
+// semicolon-separated clauses, each "kind:key=value,key=value,...".
+//
+//	straggler:node=3,cpu=1.5,nic=2
+//	link:src=0,dst=5,lat=3,bw=4
+//	brownout:src=0,dst=1,start=0.001,end=0.002,bw=50
+//	jitter:pareto,alpha=1.5
+//
+// "none" (or the empty string) parses to nil, the unperturbed platform.
+// Factors default to 1 when omitted. The result is structurally validated
+// except for node ranges, which need the cluster size (Spec.Validate).
+func Parse(text string) (*Spec, error) {
+	text = strings.TrimSpace(text)
+	if text == "" || text == "none" {
+		return nil, nil
+	}
+	spec := &Spec{}
+	for _, clause := range strings.Split(text, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(clause, ":")
+		var kv kvSet
+		if kind != "jitter" { // jitter leads with a bare distribution name
+			var err error
+			if kv, err = parseKV(rest); err != nil {
+				return nil, fmt.Errorf("perturb: clause %q: %w", clause, err)
+			}
+		}
+		switch kind {
+		case "straggler":
+			st := Straggler{Node: -1}
+			if err := kv.take(map[string]any{"node": &st.Node, "cpu": &st.Compute, "nic": &st.NIC}); err != nil {
+				return nil, fmt.Errorf("perturb: clause %q: %w", clause, err)
+			}
+			if st.Node < 0 {
+				return nil, fmt.Errorf("perturb: clause %q: missing node", clause)
+			}
+			spec.Stragglers = append(spec.Stragglers, st)
+		case "link":
+			l := LinkRule{Src: -1, Dst: -1}
+			if err := kv.take(map[string]any{"src": &l.Src, "dst": &l.Dst, "lat": &l.Latency, "bw": &l.Bandwidth}); err != nil {
+				return nil, fmt.Errorf("perturb: clause %q: %w", clause, err)
+			}
+			if l.Src < 0 || l.Dst < 0 {
+				return nil, fmt.Errorf("perturb: clause %q: missing src or dst", clause)
+			}
+			spec.Links = append(spec.Links, l)
+		case "brownout":
+			b := Brownout{Src: -1, Dst: -1, Bandwidth: 1}
+			if err := kv.take(map[string]any{"src": &b.Src, "dst": &b.Dst, "start": &b.Start, "end": &b.End, "bw": &b.Bandwidth}); err != nil {
+				return nil, fmt.Errorf("perturb: clause %q: %w", clause, err)
+			}
+			if b.Src < 0 || b.Dst < 0 {
+				return nil, fmt.Errorf("perturb: clause %q: missing src or dst", clause)
+			}
+			spec.Brownouts = append(spec.Brownouts, b)
+		case "jitter":
+			name, rest, _ := strings.Cut(rest, ",")
+			switch strings.TrimSpace(name) {
+			case "uniform":
+				spec.Jitter = JitterUniform
+			case "exponential":
+				spec.Jitter = JitterExponential
+			case "pareto":
+				spec.Jitter = JitterPareto
+			default:
+				return nil, fmt.Errorf("perturb: unknown jitter distribution %q", name)
+			}
+			if rest != "" {
+				kv, err := parseKV(rest)
+				if err != nil {
+					return nil, fmt.Errorf("perturb: clause %q: %w", clause, err)
+				}
+				if err := kv.take(map[string]any{"alpha": &spec.ParetoAlpha}); err != nil {
+					return nil, fmt.Errorf("perturb: clause %q: %w", clause, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("perturb: unknown clause kind %q (straggler, link, brownout, jitter)", kind)
+		}
+	}
+	return spec, nil
+}
+
+// kvSet is a parsed key=value clause body.
+type kvSet map[string]string
+
+func parseKV(text string) (kvSet, error) {
+	kv := kvSet{}
+	for _, pair := range strings.Split(text, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("expected key=value, got %q", pair)
+		}
+		kv[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return kv, nil
+}
+
+// take assigns every present key into its destination (*int or *float64)
+// and rejects keys with no destination.
+func (kv kvSet) take(dst map[string]any) error {
+	for k, v := range kv {
+		d, ok := dst[k]
+		if !ok {
+			keys := make([]string, 0, len(dst))
+			for dk := range dst {
+				keys = append(keys, dk)
+			}
+			sort.Strings(keys)
+			return fmt.Errorf("unknown key %q (have %s)", k, strings.Join(keys, ", "))
+		}
+		switch p := d.(type) {
+		case *int:
+			var n int
+			if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+				return fmt.Errorf("key %q: %q is not an integer", k, v)
+			}
+			*p = n
+		case *float64:
+			var f float64
+			if _, err := fmt.Sscanf(v, "%g", &f); err != nil {
+				return fmt.Errorf("key %q: %q is not a number", k, v)
+			}
+			*p = f
+		}
+	}
+	return nil
+}
+
+// Random builds a time-invariant perturbation scenario of the given
+// intensity on a cluster of nics physical nodes, deterministically from
+// seed: the same (seed, intensity, nics) always yields the same spec.
+//
+// intensity 0 yields nil (the unperturbed platform). As intensity grows
+// toward 1 the scenario gains more stragglers and degraded links with
+// stronger factors, and the jitter tail gets heavier: intensity ≥ 0.25
+// switches the jitter to Pareto with a tail index that falls from 3
+// toward 1.5. The spec is brownout-free so that robustness sweeps stay on
+// the fast replay measurement engine; compose brownouts explicitly when a
+// scenario needs them.
+func Random(seed int64, intensity float64, nics int) *Spec {
+	if intensity <= 0 || nics < 2 {
+		return nil
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	spec := &Spec{}
+	// Stragglers: up to a quarter of the nodes at full intensity, at least
+	// one, each slowed by up to 1+2·intensity (NIC) and 1+intensity (CPU).
+	nStrag := 1 + int(intensity*float64(nics)/4)
+	for _, node := range rng.Perm(nics)[:min(nStrag, nics)] {
+		spec.Stragglers = append(spec.Stragglers, Straggler{
+			Node:    node,
+			Compute: 1 + intensity*rng.Float64(),
+			NIC:     1 + 2*intensity*rng.Float64(),
+		})
+	}
+	// Degraded links: the same order of magnitude, random directed pairs,
+	// latency up to 1+4·intensity and bandwidth up to 1+6·intensity.
+	nLinks := 1 + int(intensity*float64(nics)/4)
+	for i := 0; i < nLinks; i++ {
+		src := rng.Intn(nics)
+		dst := rng.Intn(nics - 1)
+		if dst >= src {
+			dst++
+		}
+		spec.Links = append(spec.Links, LinkRule{
+			Src: src, Dst: dst,
+			Latency:   1 + 4*intensity*rng.Float64(),
+			Bandwidth: 1 + 6*intensity*rng.Float64(),
+		})
+	}
+	if intensity >= 0.25 {
+		spec.Jitter = JitterPareto
+		spec.ParetoAlpha = 3 - 1.5*intensity
+	}
+	return spec
+}

@@ -1,0 +1,69 @@
+package selection
+
+import (
+	"testing"
+
+	"mpicollperf/internal/coll"
+	"mpicollperf/internal/model"
+)
+
+// fuzzModels builds a fully-populated synthetic model set: every
+// algorithm gets distinct but well-formed Hockney parameters, so the
+// model-based selector always has a prediction to rank.
+func fuzzModels() model.BcastModels {
+	params := make(map[coll.BcastAlgorithm]model.Hockney)
+	for i, alg := range coll.BcastAlgorithms() {
+		params[alg] = model.Hockney{Alpha: 1e-5 * float64(i+1), Beta: 1e-9 * float64(i+2)}
+	}
+	return model.BcastModels{Cluster: "fuzz", SegSize: 8192, Gamma: model.UnitGamma(), Params: params}
+}
+
+// knownAlgorithm reports whether a is one of the six named broadcast
+// algorithms (String round-trips through ParseBcastAlgorithm only for
+// valid identifiers).
+func knownAlgorithm(a coll.BcastAlgorithm) bool {
+	got, err := coll.ParseBcastAlgorithm(a.String())
+	return err == nil && got == a
+}
+
+// FuzzSelectorTotal checks that both selectors are total functions of
+// (P, m): for arbitrary communicator and message sizes they return one of
+// the six known algorithms with a non-negative segment size, and never
+// panic. A selector that fell off its decision thresholds into an invalid
+// choice would send the measurement layer an algorithm it cannot run.
+func FuzzSelectorTotal(f *testing.F) {
+	f.Add(uint16(2), uint32(0))
+	f.Add(uint16(1), uint32(1))
+	f.Add(uint16(12), uint32(ompiSmallMessageSize))
+	f.Add(uint16(13), uint32(ompiIntermediateMessageSize))
+	f.Add(uint16(90), uint32(1<<20))
+	f.Add(uint16(124), uint32(4<<20))
+	f.Add(uint16(4096), uint32(1<<31-1))
+	sel := ModelBased{Models: fuzzModels()}
+	f.Fuzz(func(t *testing.T, pRaw uint16, mRaw uint32) {
+		P := int(pRaw)
+		if P < 1 {
+			P = 1
+		}
+		m := int(mRaw)
+
+		oc := OpenMPIFixed(P, m)
+		if !knownAlgorithm(oc.Alg) {
+			t.Fatalf("OpenMPIFixed(%d, %d) chose unknown algorithm %d", P, m, int(oc.Alg))
+		}
+		if oc.SegSize < 0 {
+			t.Fatalf("OpenMPIFixed(%d, %d) chose negative segment size %d", P, m, oc.SegSize)
+		}
+
+		mc, err := sel.Select(P, m)
+		if err != nil {
+			t.Fatalf("ModelBased.Select(%d, %d): %v", P, m, err)
+		}
+		if !knownAlgorithm(mc.Alg) {
+			t.Fatalf("ModelBased.Select(%d, %d) chose unknown algorithm %d", P, m, int(mc.Alg))
+		}
+		if mc.SegSize < 0 {
+			t.Fatalf("ModelBased.Select(%d, %d) chose negative segment size %d", P, m, mc.SegSize)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package selection
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/experiment"
+)
+
+func robustnessFixture(t *testing.T) (cluster.Profile, ModelBased, RobustnessConfig) {
+	t.Helper()
+	pr, err := cluster.Grisou().WithNodes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := experiment.Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 5, Warmup: 1}
+	cfg := RobustnessConfig{
+		P:           8,
+		Sizes:       []int{8192, 65536},
+		Intensities: []float64{0, 0.5},
+		Seed:        3,
+		Settings:    set,
+	}
+	return pr, ModelBased{Models: fuzzModels()}, cfg
+}
+
+func TestRobustnessReport(t *testing.T) {
+	pr, sel, cfg := robustnessFixture(t)
+	rep, err := Robustness(context.Background(), pr, sel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(cfg.Intensities) {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), len(cfg.Intensities))
+	}
+	if rep.Rows[0].Spec != "none" {
+		t.Fatalf("intensity 0 spec = %q, want none", rep.Rows[0].Spec)
+	}
+	if rep.Rows[1].Spec == "none" {
+		t.Fatal("intensity 0.5 produced no perturbation")
+	}
+	for _, row := range rep.Rows {
+		// Degradation vs the oracle is non-negative by construction (the
+		// oracle rank includes every algorithm the model can pick) and the
+		// mean never exceeds the max.
+		if row.Model.MeanDegradation < 0 || row.Model.MeanDegradation > row.Model.MaxDegradation {
+			t.Errorf("ε=%g: inconsistent model score %+v", row.Intensity, row.Model)
+		}
+		if row.Model.Wins < 0 || row.Model.Wins > len(cfg.Sizes) {
+			t.Errorf("ε=%g: wins %d outside 0..%d", row.Intensity, row.Model.Wins, len(cfg.Sizes))
+		}
+		// perturb.Random is brownout-free, so nothing may fall back.
+		if len(row.Fallbacks) != 0 {
+			t.Errorf("ε=%g: unexpected fallbacks %v", row.Intensity, row.Fallbacks)
+		}
+	}
+
+	// Same seed and config ⇒ bit-identical report.
+	again, err := Robustness(context.Background(), pr, sel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Render() != again.Render() || rep.CSV() != again.CSV() {
+		t.Fatal("robustness report not deterministic")
+	}
+
+	text := rep.Render()
+	for _, want := range []string{"Robustness", pr.Name, "ompi", "none"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Render() missing %q:\n%s", want, text)
+		}
+	}
+	csv := rep.CSV()
+	if lines := strings.Count(csv, "\n"); lines != 1+len(rep.Rows) {
+		t.Errorf("CSV has %d lines, want %d:\n%s", lines, 1+len(rep.Rows), csv)
+	}
+}
+
+func TestRobustnessRejectsBadConfig(t *testing.T) {
+	pr, sel, cfg := robustnessFixture(t)
+	bad := cfg
+	bad.P = 1
+	if _, err := Robustness(context.Background(), pr, sel, bad); err == nil {
+		t.Error("P=1 accepted")
+	}
+	bad = cfg
+	bad.P = pr.Nodes + 1
+	if _, err := Robustness(context.Background(), pr, sel, bad); err == nil {
+		t.Error("oversized P accepted")
+	}
+	bad = cfg
+	bad.Sizes = nil
+	if _, err := Robustness(context.Background(), pr, sel, bad); err == nil {
+		t.Error("empty size grid accepted")
+	}
+	bad = cfg
+	bad.Intensities = nil
+	if _, err := Robustness(context.Background(), pr, sel, bad); err == nil {
+		t.Error("empty intensity grid accepted")
+	}
+}
+
+func TestRenderFallbacksDeterministic(t *testing.T) {
+	got := renderFallbacks(map[experiment.FallbackReason]int{
+		experiment.FallbackTimeVarying: 3,
+		experiment.FallbackPayload:     1,
+	})
+	if got != "payload×1, time-varying-perturbation×3" {
+		t.Fatalf("renderFallbacks = %q", got)
+	}
+}

@@ -19,17 +19,15 @@ import "fmt"
 // repetition k+1 starts from the barrier-aligned state repetition k left
 // behind, so SeedLane copies a predecessor stripe before a lane is walked.
 
-// Ports is lane-parallel per-NIC port-free bookkeeping for timing replay,
-// plus the link constants the transfer arithmetic needs. Stripes are
-// lane-major: lane l's port state for NIC i lives at [l*NICs() + i].
+// Ports is lane-parallel per-NIC port-free bookkeeping for timing replay.
+// The per-transfer link constants travel with each replayed event as a
+// LinkTiming (captured from TimingFor at plan-compile time), so perturbed
+// links and straggling nodes replay with exactly the parameters the
+// scheduler used. Stripes are lane-major: lane l's port state for NIC i
+// lives at [l*NICs() + i].
 type Ports struct {
 	nics  int
 	lanes int
-	// Link constants, copied from the Config so a Ports is self-contained.
-	latency      float64
-	sendOverhead float64
-	recvOverhead float64
-	intraLatency float64
 	// SendFree and RecvFree hold, per lane and NIC, the virtual time the
 	// port becomes idle.
 	sendFree []float64
@@ -44,14 +42,10 @@ func (n *Network) NewPorts(lanes int) (*Ports, error) {
 	}
 	nics := n.cfg.NICs()
 	p := &Ports{
-		nics:         nics,
-		lanes:        lanes,
-		latency:      n.cfg.Latency,
-		sendOverhead: n.cfg.SendOverhead,
-		recvOverhead: n.cfg.RecvOverhead,
-		intraLatency: n.cfg.IntraNodeLatency,
-		sendFree:     make([]float64, lanes*nics),
-		recvFree:     make([]float64, lanes*nics),
+		nics:     nics,
+		lanes:    lanes,
+		sendFree: make([]float64, lanes*nics),
+		recvFree: make([]float64, lanes*nics),
 	}
 	for l := 0; l < lanes; l++ {
 		copy(p.sendFree[l*nics:(l+1)*nics], n.sendFree)
@@ -76,38 +70,39 @@ func (p *Ports) SeedLane(to, from int) {
 	copy(p.recvFree[to*p.nics:(to+1)*p.nics], p.recvFree[from*p.nics:(from+1)*p.nics])
 }
 
-// Transmit replays one inter-NIC transfer on the given lane: txTime and
-// rxTime are the precomputed noise-free port occupancies (bytes times the
-// per-byte port times), now is the sender's virtual time, and jitter is
-// the (1+ε) factor drawn for this event (1 when the network is
-// noise-free). It returns the send-completion and delivery times,
-// bit-identical to Network.Transmit on the same inputs.
-func (p *Ports) Transmit(lane, srcNIC, dstNIC int, txTime, rxTime, now, jitter float64) (sendComplete, delivered float64) {
+// Transmit replays one inter-NIC transfer on the given lane: lt carries
+// the event's effective timing parameters (captured from TimingFor at
+// plan-compile time), now is the sender's virtual time, and jitter is the
+// (1+ε) factor drawn for this event (1 when the network is noise-free).
+// It returns the send-completion and delivery times, bit-identical to
+// Network.Transmit on the same inputs.
+func (p *Ports) Transmit(lane, srcNIC, dstNIC int, lt LinkTiming, now, jitter float64) (sendComplete, delivered float64) {
 	sf := p.sendFree[lane*p.nics:]
 	rf := p.recvFree[lane*p.nics:]
-	tx := txTime
+	tx := lt.TxTime
 	if tx > 0 {
 		tx = tx * jitter
 	}
-	startTx := max(now+p.sendOverhead, sf[srcNIC])
+	startTx := max(now+lt.SendOv, sf[srcNIC])
 	sendComplete = startTx + tx
 	sf[srcNIC] = sendComplete
-	arrival := sendComplete + p.latency
+	arrival := sendComplete + lt.Latency
 	startRx := max(arrival, rf[dstNIC])
-	drained := startRx + rxTime
+	drained := startRx + lt.RxTime
 	rf[dstNIC] = drained
-	delivered = drained + p.recvOverhead
+	delivered = drained + lt.RecvOv
 	return sendComplete, delivered
 }
 
 // TransmitLocal replays a transfer between co-located processes (shared
-// NIC): no port is occupied and no jitter is drawn. txTime is the
-// precomputed bytes·IntraNodeByteTime.
-func (p *Ports) TransmitLocal(now, txTime float64) (sendComplete, delivered float64) {
-	startTx := now + p.sendOverhead
-	sendComplete = startTx + txTime
-	arrival := sendComplete + p.intraLatency
-	delivered = arrival + p.recvOverhead
+// NIC): no port is occupied and no jitter is drawn. lt.TxTime is the
+// precomputed bytes·IntraNodeByteTime and lt.Latency the intra-node
+// latency.
+func (p *Ports) TransmitLocal(lt LinkTiming, now float64) (sendComplete, delivered float64) {
+	startTx := now + lt.SendOv
+	sendComplete = startTx + lt.TxTime
+	arrival := sendComplete + lt.Latency
+	delivered = arrival + lt.RecvOv
 	return sendComplete, delivered
 }
 
@@ -117,8 +112,10 @@ func (p *Ports) TransmitLocal(now, txTime float64) (sendComplete, delivered floa
 func (n *Network) Noisy() bool { return n.rng != nil }
 
 // DrawJitterInto fills dst with (1+ε) transmission-time factors drawn from
-// the network's live noise stream, one per element, in order — the exact
-// factors the next len(dst) noisy Transmit calls would have used. On a
+// the network's live noise stream under the configured jitter
+// distribution, one per element, in order — the exact factors the next
+// len(dst) noisy Transmit calls would have used (each noisy transfer
+// consumes exactly one uniform draw regardless of distribution). On a
 // noise-free network every factor is 1 and the (absent) stream is
 // untouched.
 func (n *Network) DrawJitterInto(dst []float64) {
@@ -129,6 +126,6 @@ func (n *Network) DrawJitterInto(dst []float64) {
 		return
 	}
 	for i := range dst {
-		dst[i] = 1 + n.cfg.NoiseAmplitude*n.rng.Float64()
+		dst[i] = n.jitterFactor()
 	}
 }

@@ -83,15 +83,15 @@ func TestPortsTransmitMatchesNetwork(t *testing.T) {
 			t.Fatal(err)
 		}
 		var sc, delivered float64
-		if cfg.NIC(src) == cfg.NIC(dst) {
-			sc, delivered = ports.TransmitLocal(now, float64(bytes)*cfg.IntraNodeByteTime)
+		lt := net.TimingFor(src, dst, bytes)
+		if lt.Local {
+			sc, delivered = ports.TransmitLocal(lt, now)
 		} else {
 			jitter := 1.0
-			if txTime := float64(bytes) * cfg.ByteTimeSend; txTime > 0 {
+			if lt.TxTime > 0 {
 				jitter = 1 + cfg.NoiseAmplitude*rng.Float64()
 			}
-			sc, delivered = ports.Transmit(0, cfg.NIC(src), cfg.NIC(dst),
-				float64(bytes)*cfg.ByteTimeSend, float64(bytes)*cfg.ByteTimeRecv, now, jitter)
+			sc, delivered = ports.Transmit(0, cfg.NIC(src), cfg.NIC(dst), lt, now, jitter)
 		}
 		if sc != tr.SendComplete || delivered != tr.Delivered {
 			t.Fatalf("transfer %d (%d->%d, %dB): ports %x/%x, network %x/%x",
@@ -119,16 +119,17 @@ func TestPortsSeedLaneChains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	lt := LinkTiming{TxTime: 1e-9, RxTime: 1e-9}
 	// First transfer on lane 0 of both.
-	s1, d1 := single.Transmit(0, 0, 1, 1e-9, 1e-9, 0, 1)
-	s2, d2 := double.Transmit(0, 0, 1, 1e-9, 1e-9, 0, 1)
+	s1, d1 := single.Transmit(0, 0, 1, lt, 0, 1)
+	s2, d2 := double.Transmit(0, 0, 1, lt, 0, 1)
 	if s1 != s2 || d1 != d2 {
 		t.Fatal("lane 0 diverged")
 	}
 	// Continue on lane 1 after seeding it from lane 0.
 	double.SeedLane(1, 0)
-	s1, d1 = single.Transmit(0, 0, 1, 1e-9, 1e-9, d1, 1)
-	s2, d2 = double.Transmit(1, 0, 1, 1e-9, 1e-9, d2, 1)
+	s1, d1 = single.Transmit(0, 0, 1, lt, d1, 1)
+	s2, d2 = double.Transmit(1, 0, 1, lt, d2, 1)
 	if s1 != s2 || d1 != d2 {
 		t.Fatalf("seeded lane diverged: %x/%x vs %x/%x", s2, d2, s1, d1)
 	}

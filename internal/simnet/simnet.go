@@ -35,6 +35,8 @@ package simnet
 import (
 	"fmt"
 	"math/rand"
+
+	"mpicollperf/internal/perturb"
 )
 
 // Config describes a homogeneous cluster.
@@ -77,6 +79,14 @@ type Config struct {
 	// latency) when ProcsPerNode > 1.
 	IntraNodeLatency  float64
 	IntraNodeByteTime float64
+	// Perturb composes a fault/perturbation scenario onto the cluster:
+	// per-node stragglers, degraded links, transient brownouts, and
+	// heavy-tailed jitter (package perturb). Nil (or an empty spec) is the
+	// unperturbed platform, whose timings are bit-identical to a
+	// perturbation-free build of this package. Perturbations are part of
+	// the platform identity: the spec serialises with the Config, so
+	// measurement-cache keys distinguish perturbed runs.
+	Perturb *perturb.Spec `json:",omitempty"`
 }
 
 // procsPerNode returns the effective co-location factor.
@@ -117,6 +127,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("simnet: ProcsPerNode %d needs positive IntraNodeLatency and non-negative IntraNodeByteTime", c.ProcsPerNode)
 		}
 	}
+	if err := c.Perturb.Validate(c.NICs()); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -148,6 +161,9 @@ type Network struct {
 	rng      *rand.Rand
 	nTx      int64
 	trace    func(Transfer)
+	// pert holds the expanded perturbation tables; nil on an unperturbed
+	// network, which keeps the hot path on the exact legacy arithmetic.
+	pert *pertState
 }
 
 // New builds a network from cfg.
@@ -166,6 +182,7 @@ func New(cfg Config) (*Network, error) {
 	if cfg.NoiseAmplitude > 0 {
 		n.rng = rand.New(rand.NewSource(cfg.NoiseSeed))
 	}
+	n.pert = newPertState(cfg)
 	return n, nil
 }
 
@@ -200,30 +217,38 @@ func (n *Network) Transmit(src, dst, bytes int, now float64) (Transfer, error) {
 	}
 	t := Transfer{Src: src, Dst: dst, Bytes: bytes, Issued: now}
 	srcNIC, dstNIC := n.cfg.nic(src), n.cfg.nic(dst)
-	if srcNIC == dstNIC {
+	lt := n.TimingFor(src, dst, bytes)
+	if lt.Local {
 		// Co-located processes: shared-memory transfer, no NIC involved.
-		t.StartTx = now + n.cfg.SendOverhead
-		t.SendComplete = t.StartTx + float64(bytes)*n.cfg.IntraNodeByteTime
-		t.Arrival = t.SendComplete + n.cfg.IntraNodeLatency
-		t.Delivered = t.Arrival + n.cfg.RecvOverhead
+		t.StartTx = now + lt.SendOv
+		t.SendComplete = t.StartTx + lt.TxTime
+		t.Arrival = t.SendComplete + lt.Latency
+		t.Delivered = t.Arrival + lt.RecvOv
 		n.nTx++
 		if n.trace != nil {
 			n.trace(t)
 		}
 		return t, nil
 	}
-	txTime := float64(bytes) * n.cfg.ByteTimeSend
+	txTime := lt.TxTime
 	if n.rng != nil && txTime > 0 {
-		txTime *= 1 + n.cfg.NoiseAmplitude*n.rng.Float64()
+		txTime *= n.jitterFactor()
 	}
-	t.StartTx = max(now+n.cfg.SendOverhead, n.sendFree[srcNIC])
+	t.StartTx = max(now+lt.SendOv, n.sendFree[srcNIC])
+	if n.pert != nil && n.pert.brown != nil {
+		// Brownout membership is decided by the (jitter-free) port grant
+		// time, so it is deterministic for a given seed and spec.
+		if f := n.pert.brownFactor(srcNIC, dstNIC, t.StartTx); f != 1 {
+			txTime *= f
+		}
+	}
 	t.SendComplete = t.StartTx + txTime
 	n.sendFree[srcNIC] = t.SendComplete
-	t.Arrival = t.SendComplete + n.cfg.Latency
+	t.Arrival = t.SendComplete + lt.Latency
 	startRx := max(t.Arrival, n.recvFree[dstNIC])
-	drained := startRx + float64(bytes)*n.cfg.ByteTimeRecv
+	drained := startRx + lt.RxTime
 	n.recvFree[dstNIC] = drained
-	t.Delivered = drained + n.cfg.RecvOverhead
+	t.Delivered = drained + lt.RecvOv
 	n.nTx++
 	if n.trace != nil {
 		n.trace(t)
