@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race doccheck bench benchdiff benchpaper benchsmoke fuzzseed covercheck
+.PHONY: ci vet build test race doccheck bench benchdiff benchpaper benchsmoke fuzzseed covercheck apicheck apiupdate
 
-ci: vet build test race benchsmoke fuzzseed covercheck doccheck
+ci: vet build test race benchsmoke fuzzseed covercheck doccheck apicheck
 
 vet:
 	$(GO) vet ./...
@@ -75,6 +75,26 @@ covercheck:
 	echo "covercheck: total internal coverage $$total% (baseline $(COVER_BASELINE)%)"; \
 	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t+0 < b+0) ? 1 : 0 }' || \
 		{ echo "covercheck: coverage dropped below baseline"; exit 1; }
+
+# API surface gate: the facade's exported surface (everything `go doc
+# -all` prints for the root package, declarations and doc comments) is
+# recorded in api/mpicollperf.txt. apicheck fails when the surface drifts
+# from the record, so facade changes show up as a reviewable diff; after
+# an intentional change, regenerate the record with `make apiupdate`.
+apicheck:
+	@$(GO) doc -all . > .api_current.txt
+	@if ! diff -u api/mpicollperf.txt .api_current.txt; then \
+		rm -f .api_current.txt; \
+		echo "apicheck: facade surface drifted from api/mpicollperf.txt; run 'make apiupdate' and review the diff"; \
+		exit 1; \
+	fi
+	@rm -f .api_current.txt
+	@echo "apicheck: facade surface matches api/mpicollperf.txt"
+
+apiupdate:
+	@mkdir -p api
+	$(GO) doc -all . > api/mpicollperf.txt
+	@echo "apiupdate: wrote api/mpicollperf.txt"
 
 # Every internal/* package must have a package comment: `go doc` prints
 # the comment starting on line 3 (line 1 is the package clause, line 2 is

@@ -13,6 +13,7 @@
 //	           [-min 8192] [-max 4194304] [-points 10] [-seg 8192] \
 //	           [-workers 0] [-engine auto] [-cache DIR] [-v] \
 //	           [-perturb SPEC] [-perturb-random ε] [-perturb-seed N] \
+//	           [-metrics metrics.json] \
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -engine selects how repetitions execute: auto (the default) captures
@@ -27,6 +28,11 @@
 // generates one from an intensity in (0,1] and -perturb-seed. -v reports
 // how many measurements fell back from the replay engine to the
 // scheduler, and why.
+//
+// -metrics writes a JSON observability artifact of the sweep — points
+// measured vs cached, per-engine repetition counts, fallback tallies,
+// simulator run/transfer totals (the internal/obs snapshot schema;
+// EXPERIMENTS.md documents the metric names).
 //
 // With -cpuprofile/-memprofile the tool records runtime/pprof profiles of
 // the sweep for `go tool pprof`; the heap profile is taken at exit.
@@ -45,6 +51,7 @@ import (
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
 	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/obs"
 	"mpicollperf/internal/perturb"
 	"mpicollperf/internal/profiling"
 	"mpicollperf/internal/stats"
@@ -85,6 +92,7 @@ func run(args []string, out io.Writer) (err error) {
 	perturbRandom := fs.Float64("perturb-random", 0, "generate a random perturbation of this intensity in (0, 1]")
 	perturbSeed := fs.Int64("perturb-seed", 1, "seed for -perturb-random")
 	verbose := fs.Bool("v", false, "report replay-engine fallback counts after the sweep")
+	metricsPath := fs.String("metrics", "", "write a JSON metrics artifact of the sweep to this file")
 	cacheDir := fs.String("cache", "", "reuse measurements from this directory (created if missing)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -174,11 +182,19 @@ func run(args []string, out io.Writer) (err error) {
 			return err
 		}
 	}
+	if *metricsPath != "" {
+		sw.Metrics = obs.NewRegistry()
+	}
 
 	grid := experiment.BcastGrid(*np, algs, sizes, *seg)
 	results, err := sw.Run(context.Background(), grid)
 	if err != nil {
 		return err
+	}
+	if *metricsPath != "" {
+		if err := sw.Metrics.WriteJSONFile(*metricsPath); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "broadcast sweep on %s, P=%d, segment=%d B\n", pr.Name, *np, *seg)

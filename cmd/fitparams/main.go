@@ -12,11 +12,17 @@
 //
 //	fitparams [-cluster grisou] [-procs 40] [-save grisou.json] \
 //	          [-workers 0] [-engine auto] [-cache DIR] \
+//	          [-metrics metrics.json] \
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -engine selects the measurement execution engine (auto, scheduler,
 // replay); all three produce bit-identical calibrations, with auto
 // re-timing repetitions from captured execution plans for speed.
+//
+// -metrics writes a JSON observability artifact of the calibration —
+// sweep and engine counters plus per-algorithm fit durations, Huber
+// iteration counts, and residual norms (the internal/obs snapshot
+// schema; EXPERIMENTS.md documents the metric names).
 //
 // With -cpuprofile/-memprofile the tool records runtime/pprof profiles of
 // the calibration for `go tool pprof`; the heap profile is taken at exit.
@@ -34,6 +40,7 @@ import (
 	"mpicollperf/internal/core"
 	"mpicollperf/internal/estimate"
 	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/obs"
 	"mpicollperf/internal/profiling"
 )
 
@@ -51,6 +58,7 @@ func run(args []string, out io.Writer) (err error) {
 	save := fs.String("save", "", "write the calibration to this JSON file")
 	workers := fs.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial)")
 	engineFlag := fs.String("engine", "auto", "execution engine: auto (replay with scheduler fallback), scheduler, replay")
+	metricsPath := fs.String("metrics", "", "write a JSON metrics artifact of the calibration to this file")
 	cacheDir := fs.String("cache", "", "reuse measurements from this directory (created if missing)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the calibration to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -94,9 +102,17 @@ func run(args []string, out io.Writer) (err error) {
 			return err
 		}
 	}
+	if *metricsPath != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	sel, err := core.Calibrate(pr, cfg)
 	if err != nil {
 		return err
+	}
+	if *metricsPath != "" {
+		if err := cfg.Metrics.WriteJSONFile(*metricsPath); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "calibration of %s (segment size %d B)\n\n", pr.Name, pr.SegmentSize)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|robustness|all}
+//	mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|robustness|metrics|all}
 //
 // Flags:
 //
@@ -23,6 +23,15 @@
 // degraded links, and heavy-tailed jitter of increasing intensity; see
 // package perturb), reporting each selector's penalty as the platform
 // degrades.
+//
+// The metrics target runs one calibration per cluster with an
+// observability registry attached (see internal/obs) and emits the
+// collected counters, gauges, and span histograms — sweep points measured
+// vs cached, per-engine repetition counts, simulator run/transfer totals,
+// and per-algorithm fit statistics. The calibration runs twice against a
+// shared measurement cache so the cache-hit counters are exercised too.
+// The artifact prints as a human-readable table; -csv adds the JSON
+// snapshot, and -out DIR writes it to DIR/metrics_<cluster>.json.
 package main
 
 import (
@@ -34,7 +43,10 @@ import (
 	"time"
 
 	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/core"
+	"mpicollperf/internal/estimate"
 	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/obs"
 	"mpicollperf/internal/selection"
 	"mpicollperf/internal/stats"
 	"mpicollperf/internal/tables"
@@ -63,7 +75,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 || args[0] != "reproduce" {
-		return fmt.Errorf("usage: mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|robustness|all}")
+		return fmt.Errorf("usage: mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|robustness|metrics|all}")
 	}
 	fs := flag.NewFlagSet("reproduce", flag.ContinueOnError)
 	clusterFlag := fs.String("cluster", "both", "grisou, gros or both")
@@ -108,6 +120,8 @@ func run(args []string) error {
 			err = runExt(cfg)
 		case "robustness":
 			err = runRobustness(cfg)
+		case "metrics":
+			err = runMetrics(cfg)
 		case "all":
 			if err = runFig1(cfg); err == nil {
 				if err = runTable1(cfg); err == nil {
@@ -253,6 +267,51 @@ func runRobustness(cfg runConfig) error {
 		name := fmt.Sprintf("robustness_%s_p%d", pr.Name, p)
 		if err := emit(cfg, name, rep.Render(), rep.CSV()); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// runMetrics generates the observability artifact: one calibration per
+// cluster with a metrics registry attached. The calibration runs twice
+// against a shared in-memory measurement cache, so the artifact shows both
+// the cold path (points measured, engine repetitions, simulator totals,
+// fit statistics) and the warm path (points served from cache).
+func runMetrics(cfg runConfig) error {
+	for _, pr := range cfg.profiles {
+		p := cfg.estProcs[pr.Name]
+		if p == 0 || p > pr.Nodes {
+			p = pr.Nodes / 2
+		}
+		reg := obs.NewRegistry()
+		acfg := estimate.AlphaBetaConfig{
+			Procs:    p,
+			Settings: cfg.settings,
+			Cache:    experiment.NewCache(),
+			Metrics:  reg,
+		}
+		for pass := 0; pass < 2; pass++ {
+			if _, err := core.Calibrate(pr, acfg); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("observability metrics: calibration of %s (P=%d, two passes over a shared cache)\n\n", pr.Name, p)
+		if err := reg.WriteTable(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if cfg.csv {
+			if err := reg.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if cfg.outDir != "" {
+			path := filepath.Join(cfg.outDir, fmt.Sprintf("metrics_%s.json", pr.Name))
+			if err := reg.WriteJSONFile(path); err != nil {
+				return err
+			}
+			fmt.Printf("(wrote %s)\n", path)
 		}
 	}
 	return nil

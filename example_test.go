@@ -1,0 +1,37 @@
+package mpicollperf_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mpicollperf"
+)
+
+// ExampleCalibrate calibrates the model-based selector on a scaled-down
+// simulated platform with the functional-options API and asks it which
+// broadcast algorithm to use for a 1 MB message over 12 ranks. The
+// simulation is deterministic, so the selection is reproducible.
+func ExampleCalibrate() {
+	profile, err := mpicollperf.Grisou().WithNodes(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := mpicollperf.Calibrate(context.Background(), profile,
+		mpicollperf.WithProcs(6),
+		mpicollperf.WithSizes(8192, 65536, 524288),
+		mpicollperf.WithMeasureSettings(mpicollperf.MeasureSettings{
+			Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 30, Warmup: 1,
+		}),
+		mpicollperf.WithWorkers(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	choice, err := sel.Best(12, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(choice.Alg)
+	// Output: chain
+}

@@ -17,10 +17,9 @@ import (
 	"fmt"
 	"log"
 
+	"mpicollperf"
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
-	"mpicollperf/internal/core"
-	"mpicollperf/internal/estimate"
 	"mpicollperf/internal/experiment"
 	"mpicollperf/internal/mpi"
 	"mpicollperf/internal/selection"
@@ -76,9 +75,12 @@ func main() {
 
 	// One measurement cache serves both the calibration and the oracle:
 	// everything fans out over the sweep engine's default worker pool,
-	// and a re-run of either stage against the same cache is free.
-	cache := experiment.NewCache()
-	sel, err := core.Calibrate(profile, estimate.AlphaBetaConfig{Settings: set, Cache: cache})
+	// and a re-run of either stage against the same cache is free. The
+	// calibration goes through the facade's options API.
+	cache := mpicollperf.NewMeasurementCache()
+	sel, err := mpicollperf.Calibrate(context.Background(), profile,
+		mpicollperf.WithMeasureSettings(set),
+		mpicollperf.WithCache(cache))
 	if err != nil {
 		log.Fatal(err)
 	}

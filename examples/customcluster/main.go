@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -30,7 +31,7 @@ func main() {
 
 	selectors := make(map[string]*mpicollperf.Selector, 2)
 	for _, pr := range []mpicollperf.Profile{slowNet, fastNet} {
-		sel, err := mpicollperf.Calibrate(pr, mpicollperf.CalibrationConfig{})
+		sel, err := mpicollperf.Calibrate(context.Background(), pr)
 		if err != nil {
 			log.Fatal(err)
 		}

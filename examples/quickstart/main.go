@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,8 +21,10 @@ func main() {
 	}
 
 	// Offline phase (once per cluster): estimate γ(P) and per-algorithm
-	// Hockney parameters from collective communication experiments.
-	sel, err := mpicollperf.Calibrate(profile, mpicollperf.CalibrationConfig{})
+	// Hockney parameters from collective communication experiments. The
+	// defaults reproduce the paper's methodology; see the With* options
+	// for workers, caching, engine selection, and metrics.
+	sel, err := mpicollperf.Calibrate(context.Background(), profile)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"mpicollperf/internal/coll"
 	"mpicollperf/internal/experiment"
 	"mpicollperf/internal/mpi"
+	"mpicollperf/internal/obs"
 	"mpicollperf/internal/perturb"
 )
 
@@ -170,6 +171,52 @@ func TestGoldenSweepDeterminism(t *testing.T) {
 					if r.Meas.Mean != goldenSweepMeans[i] {
 						t.Errorf("point %v: mean = %x, golden %x", r.Point, r.Meas.Mean, goldenSweepMeans[i])
 					}
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenSweepMetricsInvariance is the observability layer's
+// correctness contract: attaching a metrics registry to the sweep must
+// not perturb a single bit of any measured mean — metrics observe virtual
+// timings, never feed back into them. The same pinned constants as
+// TestGoldenSweepDeterminism are checked with a registry attached, and
+// the registry itself must come back populated (instrumentation that
+// silently records nothing would pass the invariance half vacuously).
+func TestGoldenSweepMetricsInvariance(t *testing.T) {
+	pr := goldenProfile(t)
+	set := experiment.Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 10, Warmup: 1}
+	grid := experiment.BcastGrid(16, coll.BcastAlgorithms(), []int{8192, 131072, 1 << 20}, pr.SegmentSize)
+	for _, engine := range []experiment.Engine{experiment.EngineScheduler, experiment.EngineAuto, experiment.EngineReplay} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("engine=%v/workers=%d", engine, workers), func(t *testing.T) {
+				set := set
+				set.Engine = engine
+				reg := obs.NewRegistry()
+				sw := experiment.Sweep{Profile: pr, Settings: set, Workers: workers, Metrics: reg}
+				results, err := sw.Run(context.Background(), grid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, r := range results {
+					if r.Meas.Mean != goldenSweepMeans[i] {
+						t.Errorf("point %v: mean = %x, golden %x (metrics registry perturbed the sweep)",
+							r.Point, r.Meas.Mean, goldenSweepMeans[i])
+					}
+				}
+				if got := reg.Counter("sweep_points_measured_total").Value(); got != int64(len(grid)) {
+					t.Errorf("sweep_points_measured_total = %d, want %d", got, len(grid))
+				}
+				wantReps := obs.Name("experiment_reps_total", "engine", "replay")
+				if engine == experiment.EngineScheduler {
+					wantReps = obs.Name("experiment_reps_total", "engine", "scheduler")
+				}
+				if reg.Counter(wantReps).Value() == 0 {
+					t.Errorf("%s not populated", wantReps)
+				}
+				if reg.Counter("mpi_runs_total").Value() == 0 {
+					t.Error("mpi_runs_total not populated")
 				}
 			})
 		}

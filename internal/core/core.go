@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -41,10 +42,16 @@ type Selector struct {
 // and returns a ready selector. cfg.Settings defaults to the paper's
 // methodology; cfg.Procs defaults to half the platform.
 func Calibrate(pr cluster.Profile, cfg estimate.AlphaBetaConfig) (*Selector, error) {
+	return CalibrateCtx(context.Background(), pr, cfg)
+}
+
+// CalibrateCtx is Calibrate with cancellation: a cancelled ctx stops the
+// calibration sweep promptly.
+func CalibrateCtx(ctx context.Context, pr cluster.Profile, cfg estimate.AlphaBetaConfig) (*Selector, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
-	bm, gr, err := estimate.Models(pr, cfg)
+	bm, gr, err := estimate.ModelsCtx(ctx, pr, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -78,9 +85,31 @@ func (s *Selector) MeasureBcast(alg coll.BcastAlgorithm, P, m int, set experimen
 	return meas.Mean, nil
 }
 
+// calibrationFileVersion is the current calibration file schema version.
+// Bump it when the schema changes incompatibly; LoadModels rejects files
+// carrying any other version (including files from before versioning,
+// which parse as version 0) with an *UnsupportedVersionError.
+const calibrationFileVersion = 1
+
+// UnsupportedVersionError reports a calibration file whose schema version
+// this build does not understand — newer than this library, or predating
+// schema versioning entirely.
+type UnsupportedVersionError struct {
+	// Path is the file that was rejected.
+	Path string
+	// Version is the version the file declared (0 when absent).
+	Version int
+}
+
+func (e *UnsupportedVersionError) Error() string {
+	return fmt.Sprintf("core: calibration %s has unsupported schema version %d (supported: %d); recalibrate with this library version",
+		e.Path, e.Version, calibrationFileVersion)
+}
+
 // calibrationFile is the JSON persistence schema. Algorithm keys are
 // stored by name so the file is stable across enum reorderings.
 type calibrationFile struct {
+	Version  int                `json:"version"`
 	Cluster  string             `json:"cluster"`
 	SegSize  int                `json:"segment_size"`
 	GammaTab map[string]float64 `json:"gamma"` // "P" -> γ(P)
@@ -97,6 +126,7 @@ type calibrationFile struct {
 // SaveModels writes the calibrated models to a JSON file.
 func (s *Selector) SaveModels(path string) error {
 	var f calibrationFile
+	f.Version = calibrationFileVersion
 	f.Cluster = s.Models.Cluster
 	f.SegSize = s.Models.SegSize
 	f.GammaTab = make(map[string]float64, len(s.Models.Gamma.Table))
@@ -132,6 +162,9 @@ func LoadModels(pr cluster.Profile, path string) (*Selector, error) {
 	var f calibrationFile
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("core: parsing %s: %w", path, err)
+	}
+	if f.Version != calibrationFileVersion {
+		return nil, &UnsupportedVersionError{Path: path, Version: f.Version}
 	}
 	if f.Cluster != pr.Name {
 		return nil, fmt.Errorf("core: calibration is for %q, profile is %q", f.Cluster, pr.Name)

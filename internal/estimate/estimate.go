@@ -3,11 +3,13 @@ package estimate
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
 	"mpicollperf/internal/experiment"
 	"mpicollperf/internal/model"
+	"mpicollperf/internal/obs"
 	"mpicollperf/internal/stats"
 )
 
@@ -127,6 +129,11 @@ type AlphaBetaConfig struct {
 	Cache *experiment.Cache
 	// Progress, if non-nil, observes every completed measurement.
 	Progress experiment.Progress
+	// Metrics, if non-nil, receives the calibration sweep's counters plus
+	// per-algorithm fit spans, Huber iteration counts, and residual norms
+	// (see fitAlphaBeta). Purely observational: fitted parameters are
+	// bit-identical with or without it.
+	Metrics *obs.Registry
 }
 
 // sweep builds the measurement engine the config describes.
@@ -137,6 +144,7 @@ func (c AlphaBetaConfig) sweep(pr cluster.Profile) experiment.Sweep {
 		Workers:  c.Workers,
 		Cache:    c.Cache,
 		Progress: c.Progress,
+		Metrics:  c.Metrics,
 	}
 }
 
@@ -224,6 +232,8 @@ func AlphaBeta(pr cluster.Profile, alg coll.BcastAlgorithm, g model.Gamma, cfg A
 // fitAlphaBeta solves the Fig. 4 system for one algorithm from its
 // measured §4.2 grid (measured[i] is the cfg.Sizes[i] experiment).
 func fitAlphaBeta(pr cluster.Profile, alg coll.BcastAlgorithm, g model.Gamma, cfg AlphaBetaConfig, measured []experiment.Result) (AlphaBetaResult, error) {
+	sp := cfg.Metrics.Span(obs.Name("estimate_fit", "alg", alg.String()))
+	defer sp.End()
 	res := AlphaBetaResult{Equations: make([]Equation, 0, len(cfg.Sizes))}
 	xs := make([]float64, 0, len(cfg.Sizes))
 	ys := make([]float64, 0, len(cfg.Sizes))
@@ -254,6 +264,17 @@ func fitAlphaBeta(pr cluster.Profile, alg coll.BcastAlgorithm, g model.Gamma, cf
 		return AlphaBetaResult{}, err
 	}
 	res.Fit = fit
+	if m := cfg.Metrics; m != nil {
+		m.Gauge(obs.Name("estimate_fit_iterations", "alg", alg.String())).Set(float64(fit.Iterations))
+		// Residual norm on the relative scale the regression minimised:
+		// sqrt(mean((r_i / y_i)^2)) over the canonical-form equations.
+		var ss float64
+		for i, r := range fit.Residuals(xs, ys) {
+			rel := r / ys[i]
+			ss += rel * rel
+		}
+		m.Gauge(obs.Name("estimate_fit_residual_norm", "alg", alg.String())).Set(math.Sqrt(ss / float64(len(xs))))
+	}
 	res.Params = model.Hockney{Alpha: fit.Intercept, Beta: fit.Slope}
 	// Timing experiments cannot produce negative costs; clamp tiny
 	// negative intercepts that the regression may emit when α is far

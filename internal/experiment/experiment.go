@@ -6,6 +6,7 @@ import (
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
 	"mpicollperf/internal/mpi"
+	"mpicollperf/internal/obs"
 	"mpicollperf/internal/simnet"
 	"mpicollperf/internal/stats"
 )
@@ -173,6 +174,26 @@ type Measurement struct {
 // every rank.
 type Op func(p *mpi.Proc)
 
+// Metric names recorded by MeasureOn into the Runner's registry
+// (mpi.Options.Metrics). Labelled names are precomputed so the hot path
+// never rebuilds them.
+var (
+	mRepsReplay       = obs.Name("experiment_reps_total", "engine", "replay")
+	mRepsScheduler    = obs.Name("experiment_reps_total", "engine", "scheduler")
+	mReplayTransfers  = "experiment_replay_transfers_total"
+	mFallbacksByWhy   = map[FallbackReason]string{}
+	fallbackReasonSet = []FallbackReason{
+		FallbackPayload, FallbackMarkInOp, FallbackPlan,
+		FallbackEchoDivergence, FallbackTimeVarying,
+	}
+)
+
+func init() {
+	for _, why := range fallbackReasonSet {
+		mFallbacksByWhy[why] = obs.Name("experiment_fallbacks_total", "reason", string(why))
+	}
+}
+
 // Measure runs op repeatedly on nprocs ranks over net until the CI
 // criterion is met, and returns the measurement.
 //
@@ -199,8 +220,13 @@ func Measure(net *simnet.Network, nprocs int, set Settings, mode Mode, op Op) (M
 // bit-identical samples at a fraction of the cost.
 func MeasureOn(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (Measurement, error) {
 	set = set.withDefaults()
+	m := r.Metrics()
 	if set.Engine == EngineScheduler {
-		return measureScheduler(r, nprocs, set, mode, op)
+		meas, err := measureScheduler(r, nprocs, set, mode, op)
+		if err == nil {
+			m.Counter(mRepsScheduler).Add(int64(meas.Reps))
+		}
+		return meas, err
 	}
 	why := FallbackNone
 	if r.Network().ReplayInvariant() {
@@ -209,6 +235,7 @@ func MeasureOn(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (Measu
 			return Measurement{}, err
 		}
 		if reason == FallbackNone {
+			m.Counter(mRepsReplay).Add(int64(meas.Reps))
 			return meas, nil
 		}
 		why = reason
@@ -220,8 +247,12 @@ func MeasureOn(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (Measu
 	if set.Engine == EngineReplay {
 		return Measurement{}, fmt.Errorf("experiment: replay engine: cannot replay this measurement (%s); use the scheduler engine", why)
 	}
+	m.Counter(mFallbacksByWhy[why]).Inc()
 	meas, err := measureScheduler(r, nprocs, set, mode, op)
 	meas.Fallback = why
+	if err == nil {
+		m.Counter(mRepsScheduler).Add(int64(meas.Reps))
+	}
 	return meas, err
 }
 
@@ -473,6 +504,11 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 			}
 		}
 	}
+	if m := r.Metrics(); m != nil && rep > 1 {
+		// Repetitions 1..rep-1 were re-timed by the replayer, bypassing the
+		// scheduler; each walks the plan's send events once.
+		m.Counter(mReplayTransfers).Add(int64(rep-1) * int64(plan.Sends()))
+	}
 	return finishMeasurement(meas), FallbackNone, nil
 }
 
@@ -481,7 +517,7 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 // given segment size, in Completion mode (the time until every rank holds
 // the message, which is what the paper's comparison figures plot).
 func MeasureBcast(pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize int, set Settings) (Measurement, error) {
-	r, err := newProfileRunner(pr)
+	r, err := newProfileRunner(pr, nil)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -501,13 +537,14 @@ func MeasureBcastOn(r *mpi.Runner, pr cluster.Profile, nprocs int, alg coll.Bcas
 
 // newProfileRunner builds a reusable Runner on a fresh network of the
 // profile's full size, so one Runner serves every communicator size the
-// profile admits.
-func newProfileRunner(pr cluster.Profile) (*mpi.Runner, error) {
+// profile admits. A non-nil registry is threaded into the Runner's
+// Options, where both the Runner and MeasureOn record into it.
+func newProfileRunner(pr cluster.Profile, m *obs.Registry) (*mpi.Runner, error) {
 	net, err := pr.Network()
 	if err != nil {
 		return nil, err
 	}
-	return mpi.NewRunnerOn(net, mpi.Options{}), nil
+	return mpi.NewRunnerOn(net, mpi.Options{Metrics: m}), nil
 }
 
 // MeasureBcastThenGather measures the paper's §4.2 communication
@@ -515,7 +552,7 @@ func newProfileRunner(pr cluster.Profile) (*mpi.Runner, error) {
 // linear-without-synchronisation gather of mg bytes per rank onto the
 // root, timed on the root (the experiment starts and finishes there).
 func MeasureBcastThenGather(pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize, mg int, set Settings) (Measurement, error) {
-	r, err := newProfileRunner(pr)
+	r, err := newProfileRunner(pr, nil)
 	if err != nil {
 		return Measurement{}, err
 	}

@@ -14,6 +14,7 @@ import (
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
 	"mpicollperf/internal/mpi"
+	"mpicollperf/internal/obs"
 )
 
 // Kind selects which measurement a grid point runs.
@@ -134,6 +135,12 @@ type Sweep struct {
 	Cache *Cache
 	// Progress, if non-nil, is invoked after each point completes.
 	Progress Progress
+	// Metrics, if non-nil, receives sweep counters (points measured and
+	// served from cache, per-engine repetition counts, fallback tallies),
+	// a sweep_run_seconds span per Run, and the cache size gauge. Workers
+	// share the registry; it is never consulted for decisions, so results
+	// are bit-identical with or without it.
+	Metrics *obs.Registry
 }
 
 // Run measures every point of the grid and returns the results in grid
@@ -157,6 +164,13 @@ func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
 	if workers > len(points) {
 		workers = len(points)
 	}
+	sp := s.Metrics.Span("sweep_run")
+	defer func() {
+		sp.End()
+		if s.Cache != nil {
+			s.Metrics.Gauge("sweep_cache_entries").Set(float64(s.Cache.Len()))
+		}
+	}()
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -234,11 +248,12 @@ func (s Sweep) measure(pt Point, runner **mpi.Runner) (Result, error) {
 	if s.Cache != nil {
 		key = cacheKey(s.Profile, pt, s.Settings)
 		if m, ok := s.Cache.get(key); ok {
+			s.Metrics.Counter("sweep_points_cached_total").Inc()
 			return Result{Point: pt, Meas: m, Cached: true}, nil
 		}
 	}
 	if *runner == nil {
-		r, err := newProfileRunner(s.Profile)
+		r, err := newProfileRunner(s.Profile, s.Metrics)
 		if err != nil {
 			return Result{}, err
 		}
@@ -259,6 +274,7 @@ func (s Sweep) measure(pt Point, runner **mpi.Runner) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	s.Metrics.Counter("sweep_points_measured_total").Inc()
 	if s.Cache != nil {
 		s.Cache.put(key, m)
 	}

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mpicollperf/internal/obs"
 	"mpicollperf/internal/simnet"
 )
 
@@ -51,6 +52,8 @@ type Result struct {
 	MakeSpan float64
 	// Transfers is the number of network transfers simulated.
 	Transfers int64
+	// Ops is the number of operations the scheduler processed.
+	Ops int64
 }
 
 // Request is the handle of a non-blocking operation. It is owned by the
@@ -321,6 +324,11 @@ type Options struct {
 	// BarrierRounds overrides the number of latency rounds a barrier costs;
 	// zero means ceil(log2 P) (dissemination-style).
 	BarrierRounds int
+	// Metrics, when non-nil, receives run/operation/transfer counters and
+	// plan-size histograms from Runners. Metrics only observe completed
+	// runs — they never alter scheduling or virtual time, so instrumented
+	// and uninstrumented runs are bit-identical.
+	Metrics *obs.Registry
 }
 
 // Run executes fn on nprocs ranks over a fresh network built from cfg and

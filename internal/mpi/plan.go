@@ -276,6 +276,18 @@ func (p *Plan) Draws() int { return p.draws }
 // Events returns the number of events one replay pass walks.
 func (p *Plan) Events() int { return len(p.events) }
 
+// Sends returns the number of send events one replay pass walks — the
+// transfers a single replayed repetition simulates.
+func (p *Plan) Sends() int {
+	n := 0
+	for i := range p.events {
+		if p.events[i].kind == evSend {
+			n++
+		}
+	}
+	return n
+}
+
 // planScratch holds the temporary arrays of one Plan compilation, kept
 // so a Runner can recycle them across grid points (Runner.CompilePlan).
 type planScratch struct {

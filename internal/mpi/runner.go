@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"mpicollperf/internal/obs"
 	"mpicollperf/internal/simnet"
 )
 
@@ -51,6 +52,11 @@ func NewRunnerOn(net *simnet.Network, opts Options) *Runner {
 // Network returns the network the Runner executes on.
 func (r *Runner) Network() *simnet.Network { return r.net }
 
+// Metrics returns the registry from the Runner's Options (possibly nil),
+// so layers that drive a Runner — the replay engine, the sweep pool — can
+// record into the same registry without threading it separately.
+func (r *Runner) Metrics() *obs.Registry { return r.opts.Metrics }
+
 // Run executes fn on nprocs ranks, like RunOn, reusing the Runner's warm
 // scheduler state.
 func (r *Runner) Run(nprocs int, fn func(*Proc) error) (Result, error) {
@@ -86,7 +92,11 @@ func (r *Runner) CompilePlan(cap *Capture, fromMark, toMark int) (*Plan, error) 
 		r.plan = &Plan{}
 		r.planScratch = &planScratch{}
 	}
-	return cap.plan(r.plan, r.planScratch, fromMark, toMark)
+	p, err := cap.plan(r.plan, r.planScratch, fromMark, toMark)
+	if err == nil {
+		r.opts.Metrics.Histogram("mpi_plan_events").Observe(float64(p.Events()))
+	}
+	return p, err
 }
 
 func (r *Runner) run(nprocs int, fn func(*Proc) error, record bool) (Result, *Capture, error) {
@@ -123,6 +133,13 @@ func (r *Runner) run(nprocs int, fn func(*Proc) error, record bool) (Result, *Ca
 		go runRank(p, fn)
 	}
 	res, err := s.loop()
+	if err == nil {
+		if m := r.opts.Metrics; m != nil {
+			m.Counter("mpi_runs_total").Inc()
+			m.Counter("mpi_operations_total").Add(res.Ops)
+			m.Counter("mpi_transfers_total").Add(res.Transfers)
+		}
+	}
 	var cap *Capture
 	if rec := s.rec; rec != nil {
 		s.rec = nil

@@ -58,6 +58,9 @@ type scheduler struct {
 	finish  []float64
 	failErr error
 	aborted bool
+	// nops counts processed operations for Result.Ops; it feeds metrics
+	// only and never influences scheduling.
+	nops int64
 }
 
 // matchState is the matching engine for one destination rank. The queues
@@ -158,6 +161,7 @@ func (s *scheduler) reset(net *simnet.Network, nprocs int, opts Options) {
 	s.live = nprocs
 	s.failErr = nil
 	s.aborted = false
+	s.nops = 0
 
 	if s.ops == nil || cap(s.ops) < nprocs {
 		s.ops = make(chan operation, nprocs)
@@ -243,6 +247,7 @@ func (s *scheduler) loop() (Result, error) {
 			s.abort(s.deadlockError())
 			continue
 		}
+		s.nops++
 		s.process(op)
 	}
 	if s.failErr != nil {
@@ -252,7 +257,7 @@ func (s *scheduler) loop() (Result, error) {
 	// the caller gets its own copy.
 	ft := make([]float64, s.nprocs)
 	copy(ft, s.finish[:s.nprocs])
-	res := Result{FinishTimes: ft, Transfers: s.net.Transfers()}
+	res := Result{FinishTimes: ft, Transfers: s.net.Transfers(), Ops: s.nops}
 	for _, t := range ft {
 		res.MakeSpan = math.Max(res.MakeSpan, t)
 	}

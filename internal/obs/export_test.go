@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// populated builds a registry exercising every metric kind, including a
+// labelled name.
+func populated() *Registry {
+	r := NewRegistry()
+	r.Counter("sweep_points_total").Add(18)
+	r.Counter(Name("reps_total", "engine", "replay")).Add(90)
+	r.Gauge("cache_entries").Set(42)
+	h := r.Histogram("measure_reps")
+	for _, v := range []float64{3, 5, 5, 8} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestJSONRoundTrip: the JSON artifact is exactly the Snapshot schema and
+// must unmarshal back into an equal Snapshot.
+func TestJSONRoundTrip(t *testing.T) {
+	r := populated()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if want := r.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWriteJSONFile(t *testing.T) {
+	r := populated()
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := r.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, buf.Bytes()) {
+		t.Fatal("file contents differ from WriteJSON output")
+	}
+	if err := r.WriteJSONFile(filepath.Join(t.TempDir(), "no", "such", "dir.json")); err == nil {
+		t.Fatal("unwritable path should fail")
+	}
+}
+
+// TestPrometheusRoundTrip parses the exposition output back into
+// name→value samples and checks every metric against the snapshot —
+// counters and gauges verbatim, histograms via their _sum/_count/_bucket
+// series (cumulative, with an explicit +Inf bucket).
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := populated()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := make(map[string]float64)
+	types := make(map[string]string)
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			types[f[2]] = f[3]
+			continue
+		}
+		// name and value separated by the last space (label values are
+		// quoted and never contain spaces here).
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	s := r.Snapshot()
+	for _, c := range s.Counters {
+		if samples[c.Name] != float64(c.Value) {
+			t.Errorf("counter %s = %g, want %d", c.Name, samples[c.Name], c.Value)
+		}
+		if types[metricBase(c.Name)] != "counter" {
+			t.Errorf("counter %s typed %q", c.Name, types[metricBase(c.Name)])
+		}
+	}
+	for _, g := range s.Gauges {
+		if samples[g.Name] != g.Value {
+			t.Errorf("gauge %s = %g, want %g", g.Name, samples[g.Name], g.Value)
+		}
+	}
+	for _, h := range s.Histograms {
+		if samples[h.Name+"_sum"] != h.Sum {
+			t.Errorf("%s_sum = %g, want %g", h.Name, samples[h.Name+"_sum"], h.Sum)
+		}
+		if samples[h.Name+"_count"] != float64(h.Count) {
+			t.Errorf("%s_count = %g, want %d", h.Name, samples[h.Name+"_count"], h.Count)
+		}
+		inf := h.Name + `_bucket{le="+Inf"}`
+		if samples[inf] != float64(h.Count) {
+			t.Errorf("+Inf bucket = %g, want %d", samples[inf], h.Count)
+		}
+		for _, b := range h.Buckets {
+			name := h.Name + `_bucket{le="` + formatFloat(b.UpperBound) + `"}`
+			if samples[name] != float64(b.Count) {
+				t.Errorf("%s = %g, want %d", name, samples[name], b.Count)
+			}
+		}
+		if types[metricBase(h.Name)] != "histogram" {
+			t.Errorf("histogram %s typed %q", h.Name, types[metricBase(h.Name)])
+		}
+	}
+}
+
+// TestPrometheusLabelledBuckets pins the label-merging corner: a
+// histogram whose name already carries labels must get `le` appended
+// inside the existing block.
+func TestPrometheusLabelledBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(Name("fit", "alg", "chain")).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE fit histogram\n",
+		`fit_bucket{alg="chain",le="1"} 1` + "\n",
+		`fit_bucket{alg="chain",le="+Inf"} 1` + "\n",
+		`fit_sum{alg="chain"} 0.5` + "\n",
+		`fit_count{alg="chain"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTableRoundTrip parses the human-readable table back and checks
+// every metric appears with its exact value.
+func TestTableRoundTrip(t *testing.T) {
+	r := populated()
+	var buf bytes.Buffer
+	if err := r.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string]string) // name -> "type value..."
+	sc := bufio.NewScanner(&buf)
+	sc.Scan() // header
+	if !strings.HasPrefix(sc.Text(), "metric") {
+		t.Fatalf("missing header, got %q", sc.Text())
+	}
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		rows[f[0]] = strings.Join(f[1:], " ")
+	}
+	s := r.Snapshot()
+	for _, c := range s.Counters {
+		if want := "counter " + strconv.FormatInt(c.Value, 10); rows[c.Name] != want {
+			t.Errorf("row %s = %q, want %q", c.Name, rows[c.Name], want)
+		}
+	}
+	for _, g := range s.Gauges {
+		if want := "gauge " + formatFloat(g.Value); rows[g.Name] != want {
+			t.Errorf("row %s = %q, want %q", g.Name, rows[g.Name], want)
+		}
+	}
+	for _, h := range s.Histograms {
+		want := "histogram count=" + strconv.FormatInt(h.Count, 10) +
+			" mean=" + formatFloat(h.Sum/float64(h.Count)) +
+			" sum=" + formatFloat(h.Sum)
+		if rows[h.Name] != want {
+			t.Errorf("row %s = %q, want %q", h.Name, rows[h.Name], want)
+		}
+	}
+}
+
+func TestEmptyRegistryExports(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("empty prometheus export: %q, %v", buf.String(), err)
+	}
+	buf.Reset()
+	if err := r.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "metric") {
+		t.Fatalf("table header missing: %q", buf.String())
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if metricBase(`x{a="b"}`) != "x" || metricBase("x") != "x" {
+		t.Fatal("metricBase")
+	}
+	if got := labelledName("x", "_bucket", "le", "+Inf"); got != `x_bucket{le="+Inf"}` {
+		t.Fatalf("labelledName unlabelled: %q", got)
+	}
+	if got := labelledName(`x{a="b"}`, "_bucket", "le", "1"); got != `x_bucket{a="b",le="1"}` {
+		t.Fatalf("labelledName labelled: %q", got)
+	}
+	if suffixName("x", "_s") != "x_s" || suffixName(`x{a="b"}`, "_s") != `x_s{a="b"}` {
+		t.Fatal("suffixName")
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsInert: every entry point must be callable through a
+// nil registry — that is the whole deal that lets instrumentation stay
+// compiled into the hot layers.
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(5)
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d", v)
+	}
+	r.Gauge("g").Set(3.5)
+	if v := r.Gauge("g").Value(); v != 0 {
+		t.Fatalf("nil gauge value = %g", v)
+	}
+	h := r.Histogram("h")
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram recorded something")
+	}
+	sp := r.Span("stage")
+	sp.End() // must not panic
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("reqs_total") != c {
+		t.Fatal("same name should return the same counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Set(-1.25)
+	if g.Value() != -1.25 {
+		t.Fatalf("gauge = %g, want -1.25", g.Value())
+	}
+	if r.Gauge("depth") != g {
+		t.Fatal("same name should return the same gauge")
+	}
+}
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("reps")
+	for _, v := range []float64{0.5, 3, 3, 40, 1e12} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 0.5+3+3+40+1e12 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	if want := h.Sum() / 5; h.Mean() != want {
+		t.Fatalf("mean = %g, want %g", h.Mean(), want)
+	}
+	hs := h.snapshot("reps")
+	// Cumulative semantics: the le=1 bucket holds only 0.5; le=10 holds
+	// 0.5, 3, 3; le=100 adds 40. 1e12 exceeds every finite bound, so no
+	// finite bucket reaches Count and nothing is trimmed.
+	find := func(ub float64) int64 {
+		for _, b := range hs.Buckets {
+			if b.UpperBound == ub {
+				return b.Count
+			}
+		}
+		t.Fatalf("bucket %g missing", ub)
+		return 0
+	}
+	if find(1) != 1 || find(10) != 3 || find(100) != 4 || find(1e9) != 4 {
+		t.Fatalf("cumulative buckets wrong: %+v", hs.Buckets)
+	}
+}
+
+func TestHistogramSnapshotTrimsSaturatedTail(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("small")
+	h.Observe(0.5) // lands in le=1
+	hs := h.snapshot("small")
+	// Everything above le=1 is saturated; exactly one covering bucket kept.
+	last := hs.Buckets[len(hs.Buckets)-1]
+	if last.Count != 1 || last.UpperBound != 1 {
+		t.Fatalf("trim kept %+v", hs.Buckets)
+	}
+}
+
+func TestSpanRecordsSeconds(t *testing.T) {
+	r := NewRegistry()
+	sp := r.Span("stage")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	h := r.Histogram("stage_seconds")
+	if h.Count() != 1 {
+		t.Fatalf("span count = %d", h.Count())
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("span recorded %g seconds", h.Sum())
+	}
+}
+
+func TestSpanSuffixSplicesBeforeLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Span(Name("estimate_fit", "alg", "chain")).End()
+	if r.Histogram(`estimate_fit_seconds{alg="chain"}`).Count() != 1 {
+		t.Fatal("labelled span landed under the wrong name")
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := Name("x_total"); got != "x_total" {
+		t.Fatalf("unlabelled: %q", got)
+	}
+	if got := Name("x_total", "engine", "replay"); got != `x_total{engine="replay"}` {
+		t.Fatalf("one label: %q", got)
+	}
+	if got := Name("x", "a", "1", "b", "2"); got != `x{a="1",b="2"}` {
+		t.Fatalf("two labels: %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label count should panic")
+		}
+	}()
+	Name("x", "keyonly")
+}
+
+// TestConcurrentUpdates drives one registry from many goroutines, the way
+// the sweep worker pool does, under -race.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("points_total").Inc()
+				r.Gauge("last").Set(float64(i))
+				r.Histogram("reps").Observe(float64(i % 7))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("points_total").Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if got := r.Histogram("reps").Count(); got != workers*each {
+		t.Fatalf("histogram count = %d, want %d", got, workers*each)
+	}
+}
+
+// TestSteadyStateUpdatesDoNotAllocate pins the contract the hot layers
+// rely on: once a handle exists, counter adds and histogram observations
+// allocate nothing.
+func TestSteadyStateUpdatesDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	g := r.Gauge("g")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(2.5)
+		r.Counter("c").Inc() // lookup of an existing handle
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state metric updates allocated %v per run", allocs)
+	}
+}

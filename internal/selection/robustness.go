@@ -10,6 +10,7 @@ import (
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
 	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/obs"
 	"mpicollperf/internal/perturb"
 )
 
@@ -43,6 +44,12 @@ type RobustnessConfig struct {
 	// platforms never collide with quiet ones (the spec is part of the
 	// platform identity, and so of the cache key).
 	Cache *experiment.Cache
+	// Metrics, if non-nil, receives each intensity's sweep counters plus
+	// the selector-agreement tallies
+	// selection_choices_total{selector,agrees} — how often each selector's
+	// choice matched the degraded oracle's best algorithm. Scores are
+	// bit-identical with or without it.
+	Metrics *obs.Registry
 }
 
 // SelectorScore aggregates one selector's penalty over the message sizes
@@ -113,7 +120,7 @@ func Robustness(ctx context.Context, pr cluster.Profile, sel ModelBased, cfg Rob
 				Kind: experiment.PointBcast, Alg: oc.Alg, Procs: cfg.P, MsgBytes: m, SegSize: oc.SegSize,
 			})
 		}
-		sw := experiment.Sweep{Profile: prp, Settings: cfg.Settings, Workers: cfg.Workers, Cache: cfg.Cache}
+		sw := experiment.Sweep{Profile: prp, Settings: cfg.Settings, Workers: cfg.Workers, Cache: cfg.Cache, Metrics: cfg.Metrics}
 		results, err := sw.Run(ctx, points)
 		if err != nil {
 			return RobustnessReport{}, fmt.Errorf("selection: robustness at ε=%g: %w", intensity, err)
@@ -135,6 +142,8 @@ func Robustness(ctx context.Context, pr cluster.Profile, sel ModelBased, cfg Rob
 			if err != nil {
 				return RobustnessReport{}, err
 			}
+			countAgreement(cfg.Metrics, "model", mc.Alg == oracle.Best)
+			countAgreement(cfg.Metrics, "ompi", OpenMPIFixed(cfg.P, m).Alg == oracle.Best)
 			score(&row.Model, Degradation(oracle.Times[mc.Alg], bestT))
 			score(&row.OMPI, Degradation(results[ompiAt[i]].Meas.Mean, bestT))
 		}
@@ -143,6 +152,29 @@ func Robustness(ctx context.Context, pr cluster.Profile, sel ModelBased, cfg Rob
 		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil
+}
+
+// countAgreement tallies one selector decision against the degraded
+// oracle's best algorithm. The four labelled counters are precomputed so
+// the scoring loop never rebuilds names.
+var mAgreement = map[bool]map[string]string{}
+
+func init() {
+	for _, agrees := range []bool{false, true} {
+		names := make(map[string]string, 2)
+		for _, sel := range []string{"model", "ompi"} {
+			names[sel] = obs.Name("selection_choices_total",
+				"selector", sel, "agrees", fmt.Sprintf("%t", agrees))
+		}
+		mAgreement[agrees] = names
+	}
+}
+
+func countAgreement(m *obs.Registry, selector string, agrees bool) {
+	if m == nil {
+		return
+	}
+	m.Counter(mAgreement[agrees][selector]).Inc()
 }
 
 // score accumulates one size's degradation into a SelectorScore

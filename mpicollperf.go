@@ -15,25 +15,31 @@
 //     decision function, and the measured oracle — and generators for
 //     every table and figure of the paper's evaluation.
 //
-// This facade re-exports the high-level workflow; power users can reach
-// the full machinery through the internal packages (the cmd tools and
-// examples show how).
+// This facade re-exports the high-level workflow — calibration with
+// functional options (see Calibrate and the With* options), persistence,
+// engine selection, perturbation, robustness scoring, and the metrics
+// registry; power users can still reach the full machinery through the
+// internal packages (the cmd tools and examples show how).
 //
 // Quick start:
 //
 //	profile := mpicollperf.Grisou()
-//	sel, err := mpicollperf.Calibrate(profile, mpicollperf.CalibrationConfig{})
+//	sel, err := mpicollperf.Calibrate(context.Background(), profile)
 //	if err != nil { ... }
 //	choice, err := sel.Best(90, 1<<20) // which algorithm for 1 MB over 90 ranks?
 package mpicollperf
 
 import (
+	"context"
+
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
 	"mpicollperf/internal/core"
 	"mpicollperf/internal/estimate"
 	"mpicollperf/internal/experiment"
 	"mpicollperf/internal/model"
+	"mpicollperf/internal/obs"
+	"mpicollperf/internal/perturb"
 	"mpicollperf/internal/selection"
 )
 
@@ -54,10 +60,28 @@ type (
 	// Models bundles γ and per-algorithm Hockney parameters.
 	Models = model.BcastModels
 	// MeasurementCache is a content-addressed store of measurement
-	// results; attach one to CalibrationConfig.Cache to make repeated
-	// calibrations of the same platform skip already-measured grid
-	// points.
+	// results; attach one with WithCache to make repeated calibrations of
+	// the same platform skip already-measured grid points.
 	MeasurementCache = experiment.Cache
+	// Engine selects how measurement repetitions execute (attach with
+	// WithEngine); all engines produce bit-identical results.
+	Engine = experiment.Engine
+	// PerturbationSpec is a deterministic platform degradation: stragglers,
+	// link slowdowns, jitter, brownouts. Compose one onto a Profile with
+	// Profile.Perturbed or calibrate under it with WithPerturbation.
+	PerturbationSpec = perturb.Spec
+	// MetricsRegistry collects the pipeline's counters, gauges, and
+	// histogram/span metrics; attach one with WithMetrics and export it
+	// with its WriteJSON/WritePrometheus/WriteTable methods.
+	MetricsRegistry = obs.Registry
+	// RobustnessConfig parameterises a Robustness sweep.
+	RobustnessConfig = selection.RobustnessConfig
+	// RobustnessReport scores the selectors over a perturbation-intensity
+	// grid (render with its Render or CSV methods).
+	RobustnessReport = selection.RobustnessReport
+	// UnsupportedVersionError is returned by LoadCalibration for a model
+	// file whose schema version this build does not understand.
+	UnsupportedVersionError = core.UnsupportedVersionError
 )
 
 // NewMeasurementCache returns an in-memory measurement cache.
@@ -80,6 +104,43 @@ const (
 	BcastBinomial    = coll.BcastBinomial
 )
 
+// The measurement execution engines (see Engine and WithEngine).
+const (
+	EngineAuto      = experiment.EngineAuto
+	EngineScheduler = experiment.EngineScheduler
+	EngineReplay    = experiment.EngineReplay
+)
+
+// ParseEngine parses an engine name ("auto", "scheduler", "replay"), as
+// the cmd tools' -engine flags do.
+func ParseEngine(s string) (Engine, error) { return experiment.ParseEngine(s) }
+
+// NewMetricsRegistry returns an empty metrics registry for WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ParsePerturbation parses a perturbation spec from its textual form (the
+// cmd tools' -perturb flag syntax, e.g.
+// "straggler:node=3,cpu=2.0;link:src=0,dst=1,lat=1.5;jitter:uniform").
+func ParsePerturbation(text string) (*PerturbationSpec, error) { return perturb.Parse(text) }
+
+// RandomPerturbation generates a deterministic random perturbation of the
+// given intensity in [0, 1] for a platform with nics network interfaces —
+// the generator behind the robustness experiments. Same arguments, same
+// spec.
+func RandomPerturbation(seed int64, intensity float64, nics int) *PerturbationSpec {
+	return perturb.Random(seed, intensity, nics)
+}
+
+// Robustness stress-tests a calibrated selector (and Open MPI's fixed
+// one) on deterministically degraded versions of the platform, scoring
+// each against the degraded oracle per perturbation intensity. The
+// selector keeps deciding from its quiet-platform calibration — the
+// deployment situation when a production cluster degrades under its
+// tuning tables.
+func Robustness(ctx context.Context, pr Profile, sel *Selector, cfg RobustnessConfig) (RobustnessReport, error) {
+	return selection.Robustness(ctx, pr, selection.ModelBased{Models: sel.Models}, cfg)
+}
+
 // Grisou returns the simulated Grid'5000 Grisou platform (10 Gbps
 // Ethernet, up to 90 processes).
 func Grisou() Profile { return cluster.Grisou() }
@@ -94,14 +155,9 @@ func CustomCluster(name string, nodes int, latency, bandwidthBps float64) (Profi
 	return cluster.Custom(name, nodes, latency, bandwidthBps)
 }
 
-// Calibrate runs the paper's offline estimation pipeline (§4) on a
-// platform and returns a ready selector.
-func Calibrate(pr Profile, cfg CalibrationConfig) (*Selector, error) {
-	return core.Calibrate(pr, cfg)
-}
-
 // LoadCalibration restores a selector from a JSON file written by
-// Selector.SaveModels.
+// Selector.SaveModels. A file with an unknown schema version is rejected
+// with an *UnsupportedVersionError.
 func LoadCalibration(pr Profile, path string) (*Selector, error) {
 	return core.LoadModels(pr, path)
 }

@@ -1,24 +1,29 @@
 package mpicollperf
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
 // TestFacadeWorkflow exercises the whole public API surface the README
-// advertises: build a platform, calibrate, select, predict, persist,
-// reload.
+// advertises: build a platform, calibrate (options API), select, predict,
+// persist, reload.
 func TestFacadeWorkflow(t *testing.T) {
 	profile, err := Grisou().WithNodes(12)
 	if err != nil {
 		t.Fatal(err)
 	}
 	set := MeasureSettings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 30, Warmup: 1}
-	sel, err := Calibrate(profile, CalibrationConfig{
-		Procs:    6,
-		Sizes:    []int{8192, 65536, 524288},
-		Settings: set,
-	})
+	sel, err := Calibrate(context.Background(), profile,
+		WithProcs(6),
+		WithSizes(8192, 65536, 524288),
+		WithMeasureSettings(set),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,6 +61,179 @@ func TestFacadeWorkflow(t *testing.T) {
 	again, err := loaded.Best(12, 1<<20)
 	if err != nil || again != choice {
 		t.Fatalf("reloaded selection %v/%v, want %v", again, err, choice)
+	}
+}
+
+// testSettings are quick measurement settings shared by the facade tests.
+var testSettings = MeasureSettings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 30, Warmup: 1}
+
+// TestFacadeDeprecatedShim pins the v1 compatibility contract: the old
+// config-struct entry point still works and produces bit-identical models
+// to the options API (determinism makes exact comparison valid).
+func TestFacadeDeprecatedShim(t *testing.T) {
+	profile, err := Grisou().WithNodes(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CalibrationConfig{Procs: 6, Sizes: []int{8192, 524288}, Settings: testSettings}
+	old, err := CalibrateConfig(profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := Calibrate(context.Background(), profile,
+		WithProcs(6), WithSizes(8192, 524288), WithMeasureSettings(testSettings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old.Models, neu.Models) {
+		t.Fatalf("shim and options API disagree:\nold %+v\nnew %+v", old.Models, neu.Models)
+	}
+}
+
+// TestFacadeOptionsCompose checks that option order does not matter for
+// the engine/settings interaction, that WithEngine is honoured (replay
+// would fail loudly on a program it cannot replay), and that WithWorkers,
+// WithCache, and WithMetrics thread through to the pipeline.
+func TestFacadeOptionsCompose(t *testing.T) {
+	profile, err := Grisou().WithNodes(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewMeasurementCache()
+	metrics := NewMetricsRegistry()
+	base := []Option{WithProcs(6), WithSizes(8192, 524288), WithWorkers(2), WithCache(cache), WithMetrics(metrics)}
+	a, err := Calibrate(context.Background(), profile,
+		append([]Option{WithEngine(EngineScheduler), WithMeasureSettings(testSettings)}, base...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed engine/settings order, warm cache: same models.
+	b, err := Calibrate(context.Background(), profile,
+		append([]Option{WithMeasureSettings(testSettings), WithEngine(EngineScheduler)}, base...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Models, b.Models) {
+		t.Fatal("option order changed the calibration")
+	}
+	if cache.Len() == 0 {
+		t.Fatal("WithCache did not reach the sweep")
+	}
+	s := metrics.Snapshot()
+	if len(s.Counters) == 0 {
+		t.Fatal("WithMetrics did not reach the sweep")
+	}
+	// The second calibration was served from cache; the registry saw it.
+	var cached int64
+	for _, c := range s.Counters {
+		if c.Name == "sweep_points_cached_total" {
+			cached = c.Value
+		}
+	}
+	if cached == 0 {
+		t.Fatalf("expected cached points in %+v", s.Counters)
+	}
+}
+
+// TestFacadePerturbationAndRobustness exercises the re-exported
+// perturbation and robustness surfaces end to end on a tiny grid.
+func TestFacadePerturbationAndRobustness(t *testing.T) {
+	profile, err := Grisou().WithNodes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := RandomPerturbation(7, 0.5, profile.Net.NICs())
+	if spec == nil || spec.Empty() {
+		t.Fatal("random perturbation at intensity 0.5 should not be empty")
+	}
+	if _, err := ParsePerturbation("straggler:node=1,cpu=2.0;jitter:uniform"); err != nil {
+		t.Fatalf("parse perturbation: %v", err)
+	}
+	perturbed := profile.Perturbed(spec)
+	if perturbed.Name == profile.Name {
+		t.Fatal("perturbed profile should be renamed")
+	}
+
+	sel, err := Calibrate(context.Background(), profile,
+		WithProcs(6), WithSizes(8192, 524288), WithMeasureSettings(testSettings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := NewMetricsRegistry()
+	rep, err := Robustness(context.Background(), profile, sel, RobustnessConfig{
+		P:           6,
+		Sizes:       []int{65536},
+		Intensities: []float64{0, 0.5},
+		Seed:        7,
+		Settings:    MeasureSettings{MinReps: 2, MaxReps: 4},
+		Metrics:     metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("robustness rows = %d, want 2", len(rep.Rows))
+	}
+	if rep.Render() == "" || rep.CSV() == "" {
+		t.Fatal("empty robustness renderings")
+	}
+	var agreement int64
+	for _, c := range metrics.Snapshot().Counters {
+		if base := c.Name; len(base) > len("selection_choices_total") && base[:len("selection_choices_total")] == "selection_choices_total" {
+			agreement += c.Value
+		}
+	}
+	if agreement != 4 { // 2 selectors × 1 size × 2 intensities
+		t.Fatalf("selection agreement tally = %d, want 4", agreement)
+	}
+}
+
+// TestLoadCalibrationVersion pins the model-file versioning contract:
+// current files carry version 1 and round-trip; files with any other
+// version are rejected with *UnsupportedVersionError.
+func TestLoadCalibrationVersion(t *testing.T) {
+	profile, err := Grisou().WithNodes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Calibrate(context.Background(), profile,
+		WithProcs(4), WithSizes(8192, 524288), WithMeasureSettings(testSettings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := sel.SaveModels(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["version"] != float64(1) {
+		t.Fatalf("saved version = %v, want 1", doc["version"])
+	}
+	for _, v := range []any{float64(99), nil} {
+		if v == nil {
+			delete(doc, "version") // pre-versioning file
+		} else {
+			doc["version"] = v
+		}
+		tampered, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, tampered, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadCalibration(profile, path)
+		var verr *UnsupportedVersionError
+		if !errors.As(err, &verr) {
+			t.Fatalf("version %v: error = %v, want UnsupportedVersionError", v, err)
+		}
 	}
 }
 
