@@ -25,27 +25,40 @@ race:
 # scheduler micro-benchmarks; BENCH_replay.json runs the same sweep
 # benchmarks under the default auto engine (plan capture + replay) plus
 # the replay micro-benchmarks. The sweep benchmark names are identical in
-# both files, so `benchjson -baseline` can diff them directly. The raw
-# text goes through a temp file, not a pipe, so a benchmark failure fails
-# the target.
+# both files, so `benchjson -baseline` can diff them directly. The same
+# replay-engine sweep run also yields BENCH_sweepscale.json, the
+# workers=1-relative scaling curve (`benchjson -scaling`; threshold -1 =
+# record only, the gate lives in benchdiff). The raw text goes through a
+# temp file, not a pipe, so a benchmark failure fails the target.
 bench:
 	$(GO) test -bench=Scheduler -benchmem -run='^$$' ./internal/mpi/ > .bench_sched.txt
 	SWEEP_ENGINE=scheduler $(GO) test -bench=Sweep -benchmem -run='^$$' ./internal/experiment/ >> .bench_sched.txt
 	$(GO) run ./cmd/benchjson < .bench_sched.txt > BENCH_sched.json
 	@rm -f .bench_sched.txt
 	$(GO) test -bench=Replay -benchmem -run='^$$' ./internal/mpi/ > .bench_replay.txt
-	$(GO) test -bench=Sweep -benchmem -run='^$$' ./internal/experiment/ >> .bench_replay.txt
+	$(GO) test -bench=Sweep -benchmem -run='^$$' ./internal/experiment/ > .bench_sweep.txt
+	cat .bench_sweep.txt >> .bench_replay.txt
 	$(GO) run ./cmd/benchjson < .bench_replay.txt > BENCH_replay.json
 	@rm -f .bench_replay.txt
-	@echo "wrote BENCH_sched.json and BENCH_replay.json"
+	$(GO) run ./cmd/benchjson -scaling -scaling-out BENCH_sweepscale.json -threshold -1 < .bench_sweep.txt
+	@rm -f .bench_sweep.txt
+	@echo "wrote BENCH_sched.json, BENCH_replay.json and BENCH_sweepscale.json"
 
 # Regression gate: re-run the sweep benchmarks and compare against a
 # recorded baseline (default: the scheduler-engine record). Fails when
-# any benchmark's ns/op regresses by more than 20%.
+# any benchmark's ns/op regresses by more than 20%, and — via the
+# -scaling pass over the same run — when any workers>1 line is more
+# than 50% slower than its workers=1 sibling. That anti-scaling guard
+# is generous on purpose: on a single-core box every worker count runs
+# the same clamped serial sweep and differs only by timer noise, while
+# the regression this gate exists for (workers=8 at 2.2x the workers=1
+# wall-clock) blows well past it.
 BASELINE ?= BENCH_sched.json
+SCALING_THRESHOLD ?= 0.5
 benchdiff:
 	$(GO) test -bench=Sweep -benchmem -run='^$$' ./internal/experiment/ > .bench_diff.txt
 	$(GO) run ./cmd/benchjson -baseline $(BASELINE) < .bench_diff.txt
+	$(GO) run ./cmd/benchjson -scaling -threshold $(SCALING_THRESHOLD) < .bench_diff.txt
 	@rm -f .bench_diff.txt
 
 # The per-artifact paper benchmarks (tables and figures at reduced scale).

@@ -12,9 +12,20 @@
 //	bcastbench [-cluster grisou] [-np 90] [-algs binomial,binary] \
 //	           [-min 8192] [-max 4194304] [-points 10] [-seg 8192] \
 //	           [-workers 0] [-engine auto] [-cache DIR] [-v] \
+//	           [-scaling 1,2,4,8] \
 //	           [-perturb SPEC] [-perturb-random ε] [-perturb-seed N] \
 //	           [-metrics metrics.json] \
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -np may exceed the physical cluster: the platform is then enlarged
+// synthetically (cluster.Profile.Scaled) with the calibrated link
+// parameters kept, which is how the paper-scale P≈1000 grids run.
+//
+// -scaling replaces the measurement table with a worker-scaling curve:
+// the same grid is timed once per listed worker count, sharing one
+// warm RunnerPool, and the speedup relative to the first count is
+// printed. Mutually exclusive with -cache (cached points would make
+// every count after the first trivially fast).
 //
 // -engine selects how repetitions execute: auto (the default) captures
 // each point's execution plan and re-times repetitions with the replay
@@ -44,9 +55,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
@@ -77,6 +91,61 @@ func sweepSizes(minM, maxM, points int) ([]int, error) {
 	return stats.LogSpaceBytes(minM, maxM, points), nil
 }
 
+// parseWorkerCounts parses the -scaling spec: a comma-separated list of
+// positive worker counts, e.g. "1,2,4,8".
+func parseWorkerCounts(spec string) ([]int, error) {
+	fields := strings.Split(spec, ",")
+	counts := make([]int, 0, len(fields))
+	for _, f := range fields {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-scaling: bad worker count %q (want positive integers, e.g. \"1,2,4,8\")", f)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// runScaling times the same grid at each worker count and prints the
+// speedup curve relative to the first count. One RunnerPool sized to the
+// largest count is shared across all runs and warmed by an untimed
+// sweep, so the curve isolates sweep concurrency from simulator
+// construction. Sweep.Run clamps the effective worker count to
+// GOMAXPROCS, so counts beyond the core count report that plateau
+// rather than oversubscription overhead.
+func runScaling(out io.Writer, pr cluster.Profile, set experiment.Settings, grid []experiment.Point, counts []int, metrics *obs.Registry) error {
+	maxWorkers := 1
+	for _, c := range counts {
+		if c > maxWorkers {
+			maxWorkers = c
+		}
+	}
+	pool, err := experiment.NewRunnerPool(pr, maxWorkers, metrics)
+	if err != nil {
+		return err
+	}
+	warm := experiment.Sweep{Profile: pr, Settings: set, Workers: maxWorkers, Pool: pool, Metrics: metrics}
+	if _, err := warm.Run(context.Background(), grid); err != nil {
+		return err
+	}
+	secs := make([]float64, len(counts))
+	for i, c := range counts {
+		sw := experiment.Sweep{Profile: pr, Settings: set, Workers: c, Pool: pool, Metrics: metrics}
+		start := time.Now()
+		if _, err := sw.Run(context.Background(), grid); err != nil {
+			return err
+		}
+		secs[i] = time.Since(start).Seconds()
+	}
+	fmt.Fprintf(out, "sweep scaling on %s, %d points, GOMAXPROCS=%d\n", pr.Name, len(grid), runtime.GOMAXPROCS(0))
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "workers\tseconds\tspeedup vs workers=%d\n", counts[0])
+	for i, c := range counts {
+		fmt.Fprintf(w, "%d\t%.3f\t%.2fx\n", c, secs[i], secs[0]/secs[i])
+	}
+	return w.Flush()
+}
+
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("bcastbench", flag.ContinueOnError)
 	clusterName := fs.String("cluster", "grisou", "cluster profile (grisou, gros)")
@@ -86,7 +155,8 @@ func run(args []string, out io.Writer) (err error) {
 	maxM := fs.Int("max", 4<<20, "largest message size in bytes")
 	points := fs.Int("points", 10, "number of log-spaced sizes (>= 2)")
 	seg := fs.Int("seg", 0, "segment size (default: the platform's 8 KB)")
-	workers := fs.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial)")
+	workers := fs.Int("workers", 0, "concurrent measurements (0 = GOMAXPROCS, 1 = serial; clamped to GOMAXPROCS)")
+	scalingFlag := fs.String("scaling", "", "comma-separated worker counts: time the sweep at each and print the scaling curve instead of the measurement table")
 	engineFlag := fs.String("engine", "auto", "execution engine: auto (replay with scheduler fallback), scheduler, replay")
 	perturbFlag := fs.String("perturb", "", "perturbation spec to compose onto the cluster (e.g. \"straggler:node=0,cpu=2;jitter:pareto,alpha=2\")")
 	perturbRandom := fs.Float64("perturb-random", 0, "generate a random perturbation of this intensity in (0, 1]")
@@ -117,8 +187,16 @@ func run(args []string, out io.Writer) (err error) {
 	if *np == 0 {
 		*np = pr.Nodes
 	}
-	if *np < 2 || *np > pr.Nodes {
-		return fmt.Errorf("np %d outside 2..%d", *np, pr.Nodes)
+	if *np < 2 {
+		return fmt.Errorf("np %d, need >= 2", *np)
+	}
+	if *np > pr.Nodes {
+		// Production-sized grids: enlarge the platform synthetically,
+		// keeping the calibrated link parameters (cluster.Profile.Scaled).
+		if pr, err = pr.Scaled(*np); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "np %d exceeds the physical cluster; sweeping the scaled platform %s\n", *np, pr.Name)
 	}
 	if *seg == 0 {
 		*seg = pr.SegmentSize
@@ -187,6 +265,22 @@ func run(args []string, out io.Writer) (err error) {
 	}
 
 	grid := experiment.BcastGrid(*np, algs, sizes, *seg)
+	if *scalingFlag != "" {
+		if *cacheDir != "" {
+			return fmt.Errorf("-scaling and -cache are mutually exclusive: cached points would make every count after the first trivially fast")
+		}
+		counts, err := parseWorkerCounts(*scalingFlag)
+		if err != nil {
+			return err
+		}
+		if err := runScaling(out, pr, set, grid, counts, sw.Metrics); err != nil {
+			return err
+		}
+		if *metricsPath != "" {
+			return sw.Metrics.WriteJSONFile(*metricsPath)
+		}
+		return nil
+	}
 	results, err := sw.Run(context.Background(), grid)
 	if err != nil {
 		return err

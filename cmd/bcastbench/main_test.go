@@ -74,6 +74,75 @@ func TestProfileFlagValidation(t *testing.T) {
 	}
 }
 
+// TestScaledNP: -np beyond the physical cluster enlarges the platform
+// instead of erroring; below 2 it is still rejected.
+func TestScaledNP(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-cluster", "grisou", "-np", "128", "-algs", "binomial",
+		"-min", "8192", "-max", "16384", "-points", "2", "-workers", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("-np 128 on the 90-node grisou: %v", err)
+	}
+	if !strings.Contains(out.String(), "grisou@128") || !strings.Contains(out.String(), "P=128") {
+		t.Fatalf("scaled sweep header missing grisou@128 / P=128:\n%s", out.String())
+	}
+	if err := run([]string{"-np", "1"}, io.Discard); err == nil {
+		t.Fatal("-np 1 accepted")
+	}
+}
+
+// TestScalingFlag: -scaling prints one timed row per worker count with
+// the speedup column, and rejects bad specs and -cache combination.
+func TestScalingFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-np", "6", "-algs", "linear,binomial", "-min", "8192", "-max", "16384",
+		"-points", "2", "-scaling", "1,2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"sweep scaling on grisou", "speedup vs workers=1", "\n1 ", "\n2 ", "1.00x"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scaling output missing %q:\n%s", want, got)
+		}
+	}
+	if err := run([]string{"-scaling", "1,zero"}, io.Discard); err == nil {
+		t.Error("-scaling 1,zero accepted")
+	}
+	if err := run([]string{"-scaling", "0"}, io.Discard); err == nil {
+		t.Error("-scaling 0 accepted")
+	}
+	if err := run([]string{"-scaling", "1,2", "-cache", t.TempDir()}, io.Discard); err == nil {
+		t.Error("-scaling with -cache accepted")
+	}
+}
+
+// TestScalingFlagMetrics: -scaling composes with -metrics — the artifact
+// must record the pooled sweep's gauges.
+func TestScalingFlagMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	err := run([]string{
+		"-np", "4", "-algs", "linear", "-min", "8192", "-max", "16384",
+		"-points", "2", "-scaling", "1", "-metrics", path,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mpi_runner_pool_created_total", "sweep_workers"} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("metrics artifact missing %q", want)
+		}
+	}
+}
+
 // TestEngineFlag: every engine produces byte-identical sweep output, and
 // an unknown engine name is rejected.
 func TestEngineFlag(t *testing.T) {

@@ -17,6 +17,18 @@
 //
 //	go test -bench=Sweep -benchmem ./internal/experiment/ | benchjson -baseline BENCH_sched.json
 //
+// With -scaling the tool reads worker-count sub-benchmarks (names ending
+// in "/workers=N") from stdin, groups them per benchmark, and prints each
+// group's scaling curve — ns/op, speedup over the workers=1 line, and the
+// B/op ratio. The exit status is non-zero when any workers=N line is
+// slower than its workers=1 baseline by more than -threshold (pass a
+// negative threshold to disable the gate); -scaling-out additionally
+// records the curve as a JSON artifact (BENCH_sweepscale.json in this
+// repository). The Makefile's bench and benchdiff targets use this as the
+// sweep-scaling record and gate:
+//
+//	go test -bench=Sweep -benchmem ./internal/experiment/ | benchjson -scaling -scaling-out BENCH_sweepscale.json
+//
 // Benchmark lines keep their -cpu suffix (e.g. BenchmarkFoo-8) so runs
 // from machines with different core counts are not conflated. Non-bench
 // lines (PASS, ok, metric-only output) pass through untouched to stderr,
@@ -46,12 +58,19 @@ type entry struct {
 
 func main() {
 	baseline := flag.String("baseline", "", "compare stdin against this JSON record instead of emitting JSON")
-	threshold := flag.Float64("threshold", 0.20, "maximum tolerated ns/op regression (fraction) in -baseline mode")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated ns/op regression (fraction) in -baseline and -scaling modes; negative disables the -scaling gate")
+	scalingMode := flag.Bool("scaling", false, "group /workers=N sub-benchmarks on stdin into per-benchmark scaling curves")
+	scalingOut := flag.String("scaling-out", "", "with -scaling, also record the curves as JSON to this file")
 	flag.Parse()
 	var err error
-	if *baseline != "" {
+	switch {
+	case *baseline != "" && *scalingMode:
+		err = fmt.Errorf("-baseline and -scaling are mutually exclusive")
+	case *baseline != "":
 		err = compare(os.Stdin, os.Stdout, os.Stderr, *baseline, *threshold)
-	} else {
+	case *scalingMode:
+		err = scaling(os.Stdin, os.Stdout, os.Stderr, *scalingOut, *threshold)
+	default:
 		err = run(os.Stdin, os.Stdout, os.Stderr)
 	}
 	if err != nil {
@@ -143,6 +162,116 @@ func compare(in io.Reader, out, echo io.Writer, baselineFile string, threshold f
 	if len(regressed) > 0 {
 		return fmt.Errorf("ns/op regression beyond %.0f%%: %s",
 			threshold*100, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
+// scalePoint is one worker count of a benchmark's scaling curve.
+type scalePoint struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Speedup is ns/op of the workers=1 line over this line (>1 means
+	// this worker count is faster); 0 when the group has no workers=1.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// splitWorkers decomposes a benchmark name of the form
+// "BenchmarkX/workers=N[-cpu]" into its group name (cpu suffix folded in,
+// so different machines stay distinct) and worker count.
+func splitWorkers(name string) (group string, workers int, ok bool) {
+	i := strings.LastIndex(name, "/workers=")
+	if i < 0 {
+		return "", 0, false
+	}
+	rest := name[i+len("/workers="):]
+	numEnd := 0
+	for numEnd < len(rest) && rest[numEnd] >= '0' && rest[numEnd] <= '9' {
+		numEnd++
+	}
+	if numEnd == 0 || (numEnd < len(rest) && rest[numEnd] != '-') {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(rest[:numEnd])
+	if err != nil {
+		return "", 0, false
+	}
+	return name[:i] + rest[numEnd:], n, true
+}
+
+// scaling groups /workers=N sub-benchmarks into per-benchmark scaling
+// curves, prints them, optionally records them as JSON, and fails when a
+// worker count is slower than its group's workers=1 line beyond threshold
+// (negative threshold: report only).
+func scaling(in io.Reader, out, echo io.Writer, outFile string, threshold float64) error {
+	fresh, err := parse(in, echo)
+	if err != nil {
+		return err
+	}
+	curves := make(map[string][]scalePoint)
+	for name, e := range fresh {
+		group, workers, ok := splitWorkers(name)
+		if !ok {
+			continue
+		}
+		curves[group] = append(curves[group], scalePoint{
+			Workers: workers, NsPerOp: e.NsPerOp,
+			BytesPerOp: e.BytesPerOp, AllocsPerOp: e.AllocsPerOp,
+		})
+	}
+	if len(curves) == 0 {
+		return fmt.Errorf("no /workers=N benchmarks on stdin")
+	}
+	groups := make([]string, 0, len(curves))
+	for g := range curves {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tworkers\tns/op\tspeedup\tB/op vs w1")
+	var slow []string
+	for _, g := range groups {
+		pts := curves[g]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Workers < pts[j].Workers })
+		var base *scalePoint
+		for i := range pts {
+			if pts[i].Workers == 1 {
+				base = &pts[i]
+			}
+		}
+		for i := range pts {
+			p := &pts[i]
+			speed, bratio := "-", "-"
+			if base != nil && p.NsPerOp > 0 {
+				p.Speedup = base.NsPerOp / p.NsPerOp
+				speed = fmt.Sprintf("%.2fx", p.Speedup)
+				if base.BytesPerOp > 0 {
+					bratio = fmt.Sprintf("%.2fx", p.BytesPerOp/base.BytesPerOp)
+				}
+				if threshold >= 0 && p.Workers > 1 && p.NsPerOp > base.NsPerOp*(1+threshold) {
+					slow = append(slow, fmt.Sprintf("%s/workers=%d (%.2fx slower)", g, p.Workers, p.NsPerOp/base.NsPerOp))
+				}
+			}
+			fmt.Fprintf(w, "%s\t%d\t%.0f\t%s\t%s\n", g, p.Workers, p.NsPerOp, speed, bratio)
+		}
+		curves[g] = pts
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if outFile != "" {
+		data, err := json.MarshalIndent(curves, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outFile, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if len(slow) > 0 {
+		return fmt.Errorf("worker counts slower than workers=1 beyond %.0f%%: %s",
+			threshold*100, strings.Join(slow, ", "))
 	}
 	return nil
 }

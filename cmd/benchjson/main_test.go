@@ -171,3 +171,91 @@ func TestParseBenchLineRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+const scalingSample = `goos: linux
+BenchmarkSweep/workers=1   	       3	 455884725 ns/op	        36.00 points/sweep	55441416 B/op	  118862 allocs/op
+BenchmarkSweep/workers=2   	       3	 240000000 ns/op	        36.00 points/sweep	55441410 B/op	  118862 allocs/op
+BenchmarkSweep/workers=8   	       3	 120000000 ns/op	        36.00 points/sweep	55441410 B/op	  118862 allocs/op
+BenchmarkSweepWarmPool/workers=1 	       3	 489656812 ns/op	 4402405 B/op	  117003 allocs/op
+BenchmarkSweepWarmPool/workers=8 	       3	 488930345 ns/op	 4402400 B/op	  117003 allocs/op
+BenchmarkSweepCached             	       3	    178767 ns/op	   38938 B/op	     156 allocs/op
+PASS
+ok  	mpicollperf/internal/experiment	16.210s
+`
+
+func TestSplitWorkers(t *testing.T) {
+	cases := []struct {
+		name    string
+		group   string
+		workers int
+		ok      bool
+	}{
+		{"BenchmarkSweep/workers=8", "BenchmarkSweep", 8, true},
+		{"BenchmarkSweep/workers=8-16", "BenchmarkSweep-16", 8, true},
+		{"BenchmarkSweepCached", "", 0, false},
+		{"BenchmarkSweep/workers=x", "", 0, false},
+	}
+	for _, tc := range cases {
+		group, workers, ok := splitWorkers(tc.name)
+		if group != tc.group || workers != tc.workers || ok != tc.ok {
+			t.Errorf("splitWorkers(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				tc.name, group, workers, ok, tc.group, tc.workers, tc.ok)
+		}
+	}
+}
+
+func TestScalingEmitsCurvesAndArtifact(t *testing.T) {
+	var out, echo bytes.Buffer
+	artifact := filepath.Join(t.TempDir(), "scale.json")
+	if err := scaling(strings.NewReader(scalingSample), &out, &echo, artifact, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3.80x") {
+		t.Errorf("workers=8 speedup missing from table:\n%s", out.String())
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var curves map[string][]scalePoint
+	if err := json.Unmarshal(data, &curves); err != nil {
+		t.Fatal(err)
+	}
+	sweep := curves["BenchmarkSweep"]
+	if len(sweep) != 3 || sweep[0].Workers != 1 || sweep[2].Workers != 8 {
+		t.Fatalf("BenchmarkSweep curve = %+v", sweep)
+	}
+	if got := sweep[2].Speedup; got < 3.79 || got > 3.81 {
+		t.Errorf("workers=8 speedup = %v, want ~3.80", got)
+	}
+	if _, ok := curves["BenchmarkSweepCached"]; ok {
+		t.Error("non-worker benchmark leaked into scaling curves")
+	}
+}
+
+func TestScalingGateFailsOnAntiScaling(t *testing.T) {
+	anti := `BenchmarkSweep/workers=1  1  500000000 ns/op  58000000 B/op  100 allocs/op
+BenchmarkSweep/workers=8  1  1100000000 ns/op  203000000 B/op  100 allocs/op
+`
+	var out, echo bytes.Buffer
+	err := scaling(strings.NewReader(anti), &out, &echo, "", 0.25)
+	if err == nil || !strings.Contains(err.Error(), "workers=8") {
+		t.Fatalf("anti-scaling input passed the gate (err=%v)", err)
+	}
+	// A negative threshold disables the gate but keeps the report.
+	out.Reset()
+	if err := scaling(strings.NewReader(anti), &out, &echo, "", -1); err != nil {
+		t.Fatalf("gate not disabled by negative threshold: %v", err)
+	}
+	if !strings.Contains(out.String(), "0.45x") {
+		t.Errorf("report missing slowdown line:\n%s", out.String())
+	}
+}
+
+func TestScalingRejectsInputWithoutWorkerBenchmarks(t *testing.T) {
+	var out, echo bytes.Buffer
+	noWorkers := "BenchmarkSchedulerPingPong-8  2066  573329 ns/op  64 B/op  3 allocs/op\n"
+	if err := scaling(strings.NewReader(noWorkers), &out, &echo, "", 0.25); err == nil {
+		t.Fatal("input without a scaling group accepted")
+	}
+}

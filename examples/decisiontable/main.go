@@ -8,25 +8,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mpicollperf/internal/cluster"
-	"mpicollperf/internal/core"
+	"mpicollperf"
 	"mpicollperf/internal/decision"
-	"mpicollperf/internal/estimate"
-	"mpicollperf/internal/experiment"
 	"mpicollperf/internal/selection"
 )
 
 func main() {
-	profile, err := cluster.Grisou().WithNodes(32)
+	profile, err := mpicollperf.Grisou().WithNodes(32)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sel, err := core.Calibrate(profile, estimate.AlphaBetaConfig{
-		Settings: experiment.DefaultSettings(),
-	})
+	sel, err := mpicollperf.Calibrate(context.Background(), profile,
+		mpicollperf.WithMeasureSettings(mpicollperf.DefaultMeasureSettings()))
 	if err != nil {
 		log.Fatal(err)
 	}

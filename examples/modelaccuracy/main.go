@@ -11,30 +11,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"os"
 	"text/tabwriter"
 
-	"mpicollperf/internal/cluster"
+	"mpicollperf"
 	"mpicollperf/internal/coll"
-	"mpicollperf/internal/core"
-	"mpicollperf/internal/estimate"
-	"mpicollperf/internal/experiment"
 	"mpicollperf/internal/hockney"
 	"mpicollperf/internal/stats"
 )
 
 func main() {
-	profile, err := cluster.Gros().WithNodes(32)
+	profile, err := mpicollperf.Gros().WithNodes(32)
 	if err != nil {
 		log.Fatal(err)
 	}
-	set := experiment.DefaultSettings()
+	set := mpicollperf.DefaultMeasureSettings()
 
-	// The paper's estimation pipeline...
-	sel, err := core.Calibrate(profile, estimate.AlphaBetaConfig{Settings: set})
+	// The paper's estimation pipeline, through the facade's options API...
+	sel, err := mpicollperf.Calibrate(context.Background(), profile,
+		mpicollperf.WithMeasureSettings(set))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -80,6 +80,25 @@ func (pr Profile) WithNodes(n int) (Profile, error) {
 	return out, nil
 }
 
+// Scaled returns a copy of the profile resized to n nodes, allowing n to
+// exceed the physical cluster (which WithNodes refuses). The per-link
+// parameters are kept, so a scaled profile is the "what if this fabric
+// were bigger" platform for production-sized sweeps — P into the
+// thousands — not a measurement of the real machine; the name is suffixed
+// with "@n" so reports and measurement-cache keys cannot be mistaken for
+// the physical platform. Shrinking (n <= Nodes) keeps the name and
+// matches WithNodes exactly.
+func (pr Profile) Scaled(n int) (Profile, error) {
+	if n <= pr.Nodes {
+		return pr.WithNodes(n)
+	}
+	out := pr
+	out.Net.Nodes = n
+	out.Nodes = n
+	out.Name = fmt.Sprintf("%s@%d", pr.Name, n)
+	return out, nil
+}
+
 // Validate checks internal consistency.
 func (pr Profile) Validate() error {
 	if pr.Name == "" {

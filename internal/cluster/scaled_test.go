@@ -1,0 +1,41 @@
+package cluster
+
+import "testing"
+
+func TestScaled(t *testing.T) {
+	pr := Grisou()
+
+	big, err := pr.Scaled(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Nodes != 1024 || big.Net.Nodes != 1024 {
+		t.Fatalf("Scaled(1024) nodes = %d/%d", big.Nodes, big.Net.Nodes)
+	}
+	if big.Name != "grisou@1024" {
+		t.Fatalf("Scaled(1024) name = %q, want grisou@1024", big.Name)
+	}
+	if err := big.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if big.Net.Latency != pr.Net.Latency || big.Net.ByteTimeSend != pr.Net.ByteTimeSend {
+		t.Fatal("Scaled changed link parameters")
+	}
+
+	// Shrinking matches WithNodes exactly, name included.
+	small, err := pr.Scaled(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pr.WithNodes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small != want {
+		t.Fatalf("Scaled(16) = %+v, want WithNodes(16) = %+v", small, want)
+	}
+
+	if _, err := pr.Scaled(0); err == nil {
+		t.Fatal("Scaled(0) accepted")
+	}
+}

@@ -63,6 +63,33 @@ func BenchmarkSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepWarmPool is BenchmarkSweep with a pre-warmed RunnerPool
+// attached: the delta against the pool-less workers=N line is what Runner
+// (and simulator) construction costs a repeated sweep — the situation of
+// every multi-stage calibration.
+func BenchmarkSweepWarmPool(b *testing.B) {
+	pr, grid := benchGrid(b)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			pool, err := NewRunnerPool(pr, workers, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw := Sweep{Profile: pr, Settings: benchSweepSettings(b), Workers: workers, Pool: pool}
+			if _, err := sw.Run(context.Background(), grid); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sw.Run(context.Background(), grid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSweepCached measures a fully warm sweep: every point served
 // from the in-memory cache. The delta against BenchmarkSweep is what the
 // cache saves a repeated pipeline stage (fitparams then decisiongen).

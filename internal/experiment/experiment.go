@@ -267,6 +267,10 @@ func measureScheduler(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op)
 		meas Measurement
 		stop bool
 	)
+	// Size the sample buffer for the worst case up front: the append in
+	// the hot loop then never regrows, and a sweep's measurement loop
+	// allocates one slice per point instead of a regrowth ladder.
+	meas.Samples = make([]float64, 0, set.MaxReps)
 	_, err := r.Run(nprocs, func(p *mpi.Proc) error {
 		root := p.Rank() == 0
 		// Calibrate the (deterministic) barrier cost.
@@ -403,7 +407,9 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 	}
 
 	// Replicate the adaptive decision of the scheduler loop's root over
-	// the sample sequence, captured then replayed.
+	// the sample sequence, captured then replayed. As in measureScheduler,
+	// the sample buffer is sized for MaxReps once.
+	meas.Samples = make([]float64, 0, set.MaxReps)
 	stop := false
 	push := func(sample float64) {
 		meas.Samples = append(meas.Samples, sample)
@@ -431,7 +437,9 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 			// The scheduler loop would already have stopped; defensive.
 			return Measurement{}, FallbackPlan, nil
 		}
-		rp, rerr := mpi.NewReplayer(r.Network(), plan, res.FinishTimes, lanes)
+		// The Runner's recycled replayer: bit-identical to a fresh
+		// mpi.NewReplayer, without rebuilding the lane buffers per point.
+		rp, rerr := r.NewReplayer(plan, res.FinishTimes, lanes)
 		if rerr != nil {
 			return Measurement{}, FallbackNone, rerr
 		}

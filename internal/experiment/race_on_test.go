@@ -1,0 +1,8 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions (the sweep scaling smoke test) skip under it, since
+// instrumented code is several times slower and unevenly so.
+const raceEnabled = true

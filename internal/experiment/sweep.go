@@ -2,14 +2,10 @@ package experiment
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
@@ -109,12 +105,15 @@ type Progress func(done, total int, r Result)
 
 // Sweep runs a grid of measurement points over a bounded worker pool.
 //
-// Every worker owns one reusable mpi.Runner (a private simulator plus
-// warm scheduler state, reset between points), so concurrent measurements
-// share no mutable state and the results are bit-identical to running the
-// same grid serially with a fresh simulator per point — the scheduler
-// inside each simulated MPI run, the noise stream, and the adaptive
-// repetition loop are all per-measurement deterministic.
+// Every worker owns one reusable mpi.Runner for the duration of a Run (a
+// private simulator plus warm scheduler state, reset between points), so
+// concurrent measurements share no mutable state and the results are
+// bit-identical to running the same grid serially with a fresh simulator
+// per point — the scheduler inside each simulated MPI run, the noise
+// stream, and the adaptive repetition loop are all per-measurement
+// deterministic. Work is handed out in contiguous chunks of grid points
+// claimed from an atomic cursor, so workers synchronise once per chunk,
+// not once per point.
 //
 // The zero value is not usable; Profile must be set. All other fields are
 // optional.
@@ -127,8 +126,20 @@ type Sweep struct {
 	Settings Settings
 	// Workers bounds the number of concurrently measured points.
 	// 0 (or negative) means runtime.GOMAXPROCS(0); 1 reproduces the
-	// serial path.
+	// serial path. The effective count is additionally clamped to
+	// GOMAXPROCS, the grid size, and (when a Pool is attached) the pool
+	// capacity: measurements are pure CPU, so workers beyond the
+	// schedulable cores only thrash caches and interleave working sets —
+	// the anti-scaling this clamp removes. Worker count never changes
+	// results.
 	Workers int
+	// Pool, if non-nil, lends the workers their Runners instead of each
+	// Run constructing new ones: across repeated sweeps (a calibration
+	// runs several) the simulators and their warm scheduler, capture,
+	// plan, and replay buffers are built once. The pool's Runners must
+	// have been built for this Profile (NewRunnerPool does exactly that);
+	// lending a pool across different profiles is a programming error.
+	Pool *mpi.RunnerPool
 	// Cache, if non-nil, is consulted before and filled after each
 	// measurement, keyed by the full experiment identity (profile,
 	// point, settings).
@@ -136,11 +147,41 @@ type Sweep struct {
 	// Progress, if non-nil, is invoked after each point completes.
 	Progress Progress
 	// Metrics, if non-nil, receives sweep counters (points measured and
-	// served from cache, per-engine repetition counts, fallback tallies),
-	// a sweep_run_seconds span per Run, and the cache size gauge. Workers
-	// share the registry; it is never consulted for decisions, so results
-	// are bit-identical with or without it.
+	// served from cache, per-engine repetition counts, fallback tallies,
+	// chunks claimed), level gauges (effective workers, points not yet
+	// completed), a sweep_run_seconds span per Run, and the cache size
+	// gauge. Workers share the registry; it is never consulted for
+	// decisions, so results are bit-identical with or without it.
 	Metrics *obs.Registry
+}
+
+// NewRunnerPool builds a RunnerPool whose Runners are constructed for pr
+// exactly as a pool-less sweep would construct them (a fresh network of
+// the profile's full size, metrics threaded through), sized for capacity
+// concurrent borrowers. Attach it to every Sweep over pr to amortize
+// simulator construction across Runs.
+func NewRunnerPool(pr cluster.Profile, capacity int, m *obs.Registry) (*mpi.RunnerPool, error) {
+	return mpi.NewRunnerPool(capacity, func() (*mpi.Runner, error) {
+		return newProfileRunner(pr, m)
+	}, m)
+}
+
+// sweepChunk returns the number of grid points a worker claims per visit
+// to the shared cursor: enough that claiming is a rounding error next to
+// measuring, small enough that the grid tail stays balanced (each worker
+// gets ~4 claims' worth of slack to even out point-cost variance).
+func sweepChunk(points, workers int) int {
+	if workers <= 1 {
+		return points
+	}
+	chunk := points / (workers * 4)
+	if chunk < 1 {
+		return 1
+	}
+	if chunk > 32 {
+		return 32
+	}
+	return chunk
 }
 
 // Run measures every point of the grid and returns the results in grid
@@ -161,9 +202,22 @@ func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Grid points are CPU-bound simulations: concurrency beyond the
+	// schedulable cores cannot finish the grid sooner, it can only evict
+	// each worker's warm simulator state from cache on every preemption.
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
 	if workers > len(points) {
 		workers = len(points)
 	}
+	if s.Pool != nil && workers > s.Pool.Cap() {
+		workers = s.Pool.Cap()
+	}
+	s.Metrics.Gauge("sweep_workers").Set(float64(workers))
+	pending := s.Metrics.Gauge("sweep_points_pending")
+	pending.Set(float64(len(points)))
+	chunks := s.Metrics.Counter("sweep_chunks_total")
 	sp := s.Metrics.Span("sweep_run")
 	defer func() {
 		sp.End()
@@ -177,7 +231,8 @@ func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
 
 	var (
 		results  = make([]Result, len(points))
-		jobs     = make(chan int)
+		next     atomic.Int64 // cursor: index of the first unclaimed point
+		chunk    = int64(sweepChunk(len(points), workers))
 		wg       sync.WaitGroup
 		mu       sync.Mutex // guards firstErr, done, and serialises Progress
 		firstErr error
@@ -189,47 +244,69 @@ func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
 			firstErr = err
 		}
 		mu.Unlock()
-		cancel() // stop the feeder and the other workers
+		cancel() // stop the other workers
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Each worker owns one reusable Runner (built lazily on its
-			// first uncached point) so consecutive grid points share warm
-			// scheduler state instead of rebuilding it; measurements stay
-			// bit-identical to fresh per-point simulators.
+			// Each worker owns one reusable Runner — borrowed from the
+			// pool, or built lazily on its first uncached point — so
+			// consecutive grid points share warm scheduler state instead of
+			// rebuilding it; measurements stay bit-identical to fresh
+			// per-point simulators.
 			var runner *mpi.Runner
-			for i := range jobs {
-				if ctx.Err() != nil {
+			if s.Pool != nil {
+				defer func() {
+					if runner != nil {
+						s.Pool.Put(runner)
+					}
+				}()
+			}
+			acquire := func() (*mpi.Runner, error) {
+				if runner != nil {
+					return runner, nil
+				}
+				var err error
+				if s.Pool != nil {
+					runner, err = s.Pool.Get()
+				} else {
+					runner, err = newProfileRunner(s.Profile, s.Metrics)
+				}
+				return runner, err
+			}
+			for {
+				// Claim the next contiguous chunk of grid points.
+				end := next.Add(chunk)
+				start := end - chunk
+				if start >= int64(len(points)) {
 					return
 				}
-				r, err := s.measure(points[i], &runner)
-				if err != nil {
-					fail(fmt.Errorf("sweep point %d (%v): %w", i, points[i], err))
-					return
+				if end > int64(len(points)) {
+					end = int64(len(points))
 				}
-				mu.Lock()
-				results[i] = r
-				done++
-				if s.Progress != nil {
-					s.Progress(done, len(points), r)
+				chunks.Inc()
+				for i := start; i < end; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					r, err := s.measure(points[i], acquire)
+					if err != nil {
+						fail(fmt.Errorf("sweep point %d (%v): %w", i, points[i], err))
+						return
+					}
+					mu.Lock()
+					results[i] = r
+					done++
+					if s.Progress != nil {
+						s.Progress(done, len(points), r)
+					}
+					mu.Unlock()
+					pending.Add(-1)
 				}
-				mu.Unlock()
 			}
 		}()
 	}
-	// Feed indices until the grid is exhausted or the context dies; the
-	// select keeps the feeder from blocking forever once workers bail.
-feed:
-	for i := range points {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
@@ -240,10 +317,10 @@ feed:
 	return results, nil
 }
 
-// measure serves one point, through the cache when one is attached. The
-// worker's Runner is created on the first measured point and reused for
-// the rest of that worker's share of the grid.
-func (s Sweep) measure(pt Point, runner **mpi.Runner) (Result, error) {
+// measure serves one point, through the cache when one is attached.
+// acquire returns the worker's Runner, creating or borrowing it on the
+// first measured point; cached points never touch a Runner.
+func (s Sweep) measure(pt Point, acquire func() (*mpi.Runner, error)) (Result, error) {
 	var key string
 	if s.Cache != nil {
 		key = cacheKey(s.Profile, pt, s.Settings)
@@ -252,22 +329,16 @@ func (s Sweep) measure(pt Point, runner **mpi.Runner) (Result, error) {
 			return Result{Point: pt, Meas: m, Cached: true}, nil
 		}
 	}
-	if *runner == nil {
-		r, err := newProfileRunner(s.Profile, s.Metrics)
-		if err != nil {
-			return Result{}, err
-		}
-		*runner = r
+	runner, err := acquire()
+	if err != nil {
+		return Result{}, err
 	}
-	var (
-		m   Measurement
-		err error
-	)
+	var m Measurement
 	switch pt.Kind {
 	case PointBcast:
-		m, err = MeasureBcastOn(*runner, s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, s.Settings)
+		m, err = MeasureBcastOn(runner, s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, s.Settings)
 	case PointBcastThenGather:
-		m, err = MeasureBcastThenGatherOn(*runner, s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, pt.GatherBytes, s.Settings)
+		m, err = MeasureBcastThenGatherOn(runner, s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, pt.GatherBytes, s.Settings)
 	default:
 		err = fmt.Errorf("experiment: unknown point kind %v", pt.Kind)
 	}
@@ -292,125 +363,4 @@ func BcastGrid(procs int, algs []coll.BcastAlgorithm, sizes []int, segSize int) 
 		}
 	}
 	return points
-}
-
-// cacheKeyBlob is the canonical serialisation hashed into a cache key. It
-// spells out every input that determines a measurement — the full cluster
-// profile (including the simulator's noise seed), the normalised
-// measurement settings, and the point — so any change to any of them
-// produces a different key. Algorithms are keyed by name, keeping keys
-// stable across enum reorderings.
-type cacheKeyBlob struct {
-	Version  int
-	Profile  cluster.Profile
-	Settings Settings
-	Kind     Kind
-	Alg      string
-	Procs    int
-	MsgBytes int
-	SegSize  int
-	Gather   int
-}
-
-// cacheKeyVersion invalidates every existing cache entry when the
-// measurement methodology or the simulator's timing model changes
-// incompatibly; bump it on such changes.
-const cacheKeyVersion = 1
-
-func cacheKey(pr cluster.Profile, pt Point, set Settings) string {
-	blob, err := json.Marshal(cacheKeyBlob{
-		Version:  cacheKeyVersion,
-		Profile:  pr,
-		Settings: set.withDefaults(),
-		Kind:     pt.Kind,
-		Alg:      pt.Alg.String(),
-		Procs:    pt.Procs,
-		MsgBytes: pt.MsgBytes,
-		SegSize:  pt.SegSize,
-		Gather:   pt.GatherBytes,
-	})
-	if err != nil {
-		// Every field is a plain value; Marshal cannot fail on them.
-		panic(fmt.Sprintf("experiment: cache key: %v", err))
-	}
-	sum := sha256.Sum256(blob)
-	return hex.EncodeToString(sum[:])
-}
-
-// Cache is a content-addressed measurement store shared by sweeps. Keys
-// cover the complete experiment identity, so a cache never returns a
-// measurement for a different profile, point, or methodology — reusing
-// one cache across clusters and tools is safe.
-//
-// A Cache always holds entries in memory; NewDiskCache additionally
-// persists each entry as a JSON file named <key>.json in a directory, so
-// separate process invocations (fitparams, then decisiongen over the same
-// grid) skip already-measured points. All methods are safe for concurrent
-// use.
-type Cache struct {
-	mu  sync.Mutex
-	mem map[string]Measurement
-	dir string
-}
-
-// NewCache returns an in-memory cache.
-func NewCache() *Cache {
-	return &Cache{mem: make(map[string]Measurement)}
-}
-
-// NewDiskCache returns a cache backed by dir, creating it if necessary.
-func NewDiskCache(dir string) (*Cache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("experiment: cache dir: %w", err)
-	}
-	return &Cache{mem: make(map[string]Measurement), dir: dir}, nil
-}
-
-// Len reports the number of in-memory entries.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.mem)
-}
-
-func (c *Cache) get(key string) (Measurement, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if m, ok := c.mem[key]; ok {
-		return m, true
-	}
-	if c.dir == "" {
-		return Measurement{}, false
-	}
-	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
-	if err != nil {
-		return Measurement{}, false
-	}
-	var m Measurement
-	if err := json.Unmarshal(data, &m); err != nil {
-		// A truncated or foreign file is treated as a miss; the fresh
-		// measurement will overwrite it.
-		return Measurement{}, false
-	}
-	c.mem[key] = m
-	return m, true
-}
-
-func (c *Cache) put(key string, m Measurement) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.mem[key] = m
-	if c.dir == "" {
-		return
-	}
-	data, err := json.Marshal(m)
-	if err != nil {
-		return
-	}
-	// Write-then-rename so a concurrent reader never sees a torn file.
-	tmp := filepath.Join(c.dir, key+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return
-	}
-	_ = os.Rename(tmp, filepath.Join(c.dir, key+".json"))
 }

@@ -1,0 +1,218 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpicollperf/internal/obs"
+)
+
+func testPoolFactory(nodes int, created *atomic.Int64) func() (*Runner, error) {
+	cfg := replayTestConfig(nodes)
+	return func() (*Runner, error) {
+		if created != nil {
+			created.Add(1)
+		}
+		return NewRunner(cfg, Options{})
+	}
+}
+
+func TestRunnerPoolReusesAndBoundsRunners(t *testing.T) {
+	var created atomic.Int64
+	m := obs.NewRegistry()
+	pool, err := NewRunnerPool(2, testPoolFactory(8, &created), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Cap() != 2 {
+		t.Fatalf("Cap() = %d, want 2", pool.Cap())
+	}
+	// Sequential borrow/return cycles must keep handing back the same warm
+	// Runner, not construct new ones.
+	first, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(first)
+	for i := 0; i < 5; i++ {
+		r, err := pool.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != first {
+			t.Fatalf("cycle %d: got a different Runner from a warm pool", i)
+		}
+		pool.Put(r)
+	}
+	if created.Load() != 1 {
+		t.Fatalf("factory ran %d times, want 1", created.Load())
+	}
+	if got := m.Counter("mpi_runner_pool_created_total").Value(); got != 1 {
+		t.Fatalf("created_total = %d, want 1", got)
+	}
+	if got := m.Gauge("mpi_runner_pool_in_use").Value(); got != 0 {
+		t.Fatalf("in_use = %v after all Puts, want 0", got)
+	}
+}
+
+func TestRunnerPoolResultsBitIdenticalToFreshRunner(t *testing.T) {
+	cfg := replayTestConfig(8)
+	prog := func(p *Proc) error {
+		replayPattern(p)
+		return nil
+	}
+	fresh, err := NewRunner(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run(8, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewRunnerPool(1, testPoolFactory(8, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the pooled Runner with a different program, return it, borrow
+	// it back: the reused Runner must reproduce the fresh Runner's timings
+	// exactly.
+	r, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(5, prog); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(r)
+	r, err = pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Run(8, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(r)
+	if got.MakeSpan != want.MakeSpan || got.Transfers != want.Transfers {
+		t.Fatalf("pooled run diverged: %v/%d vs %v/%d",
+			got.MakeSpan, got.Transfers, want.MakeSpan, want.Transfers)
+	}
+	for rk := range want.FinishTimes {
+		if got.FinishTimes[rk] != want.FinishTimes[rk] {
+			t.Fatalf("rank %d finish diverged on pooled Runner", rk)
+		}
+	}
+}
+
+func TestRunnerPoolBlocksAtCapacity(t *testing.T) {
+	pool, err := NewRunnerPool(1, testPoolFactory(4, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *Runner)
+	go func() {
+		r2, err := pool.Get()
+		if err != nil {
+			panic(err)
+		}
+		got <- r2
+	}()
+	select {
+	case <-got:
+		t.Fatal("Get returned while the pool's only Runner was borrowed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	pool.Put(r)
+	select {
+	case r2 := <-got:
+		if r2 != r {
+			t.Fatal("blocked Get received a different Runner than was Put")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get still blocked after Put")
+	}
+}
+
+func TestRunnerPoolFactoryErrorKeepsSlot(t *testing.T) {
+	fail := true
+	cfg := replayTestConfig(4)
+	pool, err := NewRunnerPool(1, func() (*Runner, error) {
+		if fail {
+			return nil, fmt.Errorf("transient")
+		}
+		return NewRunner(cfg, Options{})
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(); err == nil {
+		t.Fatal("Get succeeded with a failing factory")
+	}
+	// The create token must be back: once the factory recovers, Get works
+	// without blocking.
+	fail = false
+	r, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		t.Fatal("Get returned a nil Runner")
+	}
+	pool.Put(r)
+}
+
+func TestRunnerPoolConcurrentBorrowers(t *testing.T) {
+	var created atomic.Int64
+	pool, err := NewRunnerPool(4, testPoolFactory(8, &created), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(p *Proc) error {
+		replayPattern(p)
+		return nil
+	}
+	want, err := Run(replayTestConfig(8), 8, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				r, err := pool.Get()
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := r.Run(8, prog)
+				pool.Put(r)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.MakeSpan != want.MakeSpan {
+					errs <- fmt.Errorf("pooled makespan %v != %v", res.MakeSpan, want.MakeSpan)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if created.Load() > 4 {
+		t.Fatalf("factory ran %d times, capacity is 4", created.Load())
+	}
+}

@@ -57,6 +57,10 @@ type Replayer struct {
 	// them at once.
 	clk        []float64
 	barrierIdx []int32
+	// clkBuf is the backing store for clk. It survives DiscardEchoClocks so
+	// that a recycled Replayer (Runner.NewReplayer) can re-enable echo-clock
+	// recording for the next plan without reallocating.
+	clkBuf []float64
 
 	lane       int
 	laneClock  []float64 // current lane's stripe of clocks
@@ -78,34 +82,59 @@ type heapEnt struct {
 // will consume) with the given per-rank clocks — normally the FinishTimes
 // of the capturing run. lanes bounds the batch size of Replay.
 func NewReplayer(net *simnet.Network, plan *Plan, clocks []float64, lanes int) (*Replayer, error) {
-	if lanes < 1 {
-		return nil, fmt.Errorf("mpi: %d replay lanes, need >= 1", lanes)
-	}
-	if len(clocks) != plan.nprocs {
-		return nil, fmt.Errorf("mpi: %d start clocks for a %d-rank plan", len(clocks), plan.nprocs)
-	}
-	ports, err := net.NewPorts(lanes)
-	if err != nil {
+	r := &Replayer{}
+	if err := r.reinit(net, plan, clocks, lanes); err != nil {
 		return nil, err
 	}
-	r := &Replayer{
-		plan:   plan,
-		net:    net,
-		ports:  ports,
-		lanes:  lanes,
-		clocks: make([]float64, lanes*plan.nprocs),
-		jit:    make([]float64, lanes*plan.draws),
-		marks:  make([]float64, lanes*plan.marks),
-		cursor:     make([]int32, plan.nprocs),
-		reqAt:      make([]float64, plan.slots),
-		pend:       make([]uint8, plan.slots),
-		parked:     make([]bool, plan.nprocs),
-		heap:       make([]heapEnt, 0, plan.nprocs),
-		clk:        make([]float64, len(plan.events)),
-		barrierIdx: make([]int32, plan.nprocs),
-	}
-	copy(r.clocks[:plan.nprocs], clocks)
 	return r, nil
+}
+
+// reinit (re)shapes r for plan, reusing every backing buffer that is
+// already large enough. Buffers grow monotonically: a Replayer recycled
+// across a sweep's grid points stops allocating once it has seen the
+// largest plan. Replays after reinit are bit-identical to a fresh
+// NewReplayer — every buffer a lane reads is seeded or overwritten before
+// use, and echo-clock recording is re-enabled even if the previous plan
+// discarded it.
+func (r *Replayer) reinit(net *simnet.Network, plan *Plan, clocks []float64, lanes int) error {
+	if lanes < 1 {
+		return fmt.Errorf("mpi: %d replay lanes, need >= 1", lanes)
+	}
+	if len(clocks) != plan.nprocs {
+		return fmt.Errorf("mpi: %d start clocks for a %d-rank plan", len(clocks), plan.nprocs)
+	}
+	ports, err := net.SnapshotPortsInto(r.ports, lanes)
+	if err != nil {
+		return err
+	}
+	r.plan, r.net, r.ports, r.lanes = plan, net, ports, lanes
+	r.clocks = grow(r.clocks, lanes*plan.nprocs)
+	r.jit = grow(r.jit, lanes*plan.draws)
+	r.marks = grow(r.marks, lanes*plan.marks)
+	r.cursor = grow(r.cursor, plan.nprocs)
+	r.reqAt = grow(r.reqAt, plan.slots)
+	r.pend = grow(r.pend, plan.slots)
+	r.parked = grow(r.parked, plan.nprocs)
+	if cap(r.heap) < plan.nprocs {
+		r.heap = make([]heapEnt, 0, plan.nprocs)
+	}
+	r.heap = r.heap[:0]
+	r.clkBuf = grow(r.clkBuf, len(plan.events))
+	r.clk = r.clkBuf
+	r.barrierIdx = grow(r.barrierIdx, plan.nprocs)
+	r.last = 0
+	copy(r.clocks[:plan.nprocs], clocks)
+	return nil
+}
+
+// grow returns s resized to length n, reusing its backing array when the
+// capacity suffices. Contents are unspecified; callers overwrite before
+// reading.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // Lanes returns the maximum batch size.

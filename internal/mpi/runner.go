@@ -32,6 +32,8 @@ type Runner struct {
 	// Recycled across CompilePlan calls.
 	plan        *Plan
 	planScratch *planScratch
+	// Recycled across NewReplayer calls.
+	replayer *Replayer
 }
 
 // NewRunner builds a Runner with a fresh network from cfg.
@@ -97,6 +99,22 @@ func (r *Runner) CompilePlan(cap *Capture, fromMark, toMark int) (*Plan, error) 
 		r.opts.Metrics.Histogram("mpi_plan_events").Observe(float64(p.Events()))
 	}
 	return p, err
+}
+
+// NewReplayer builds a Replayer for plan on the Runner's network exactly
+// like the package-level NewReplayer, but recycles the Runner's replay
+// buffers: the returned Replayer is valid only until the next NewReplayer
+// on this Runner. Replays are bit-identical to a fresh Replayer's. A
+// measurement sweep builds one replayer per grid point, so the recycled
+// buffers flatten what was the largest per-point allocation.
+func (r *Runner) NewReplayer(plan *Plan, clocks []float64, lanes int) (*Replayer, error) {
+	if r.replayer == nil {
+		r.replayer = &Replayer{}
+	}
+	if err := r.replayer.reinit(r.net, plan, clocks, lanes); err != nil {
+		return nil, err
+	}
+	return r.replayer, nil
 }
 
 func (r *Runner) run(nprocs int, fn func(*Proc) error, record bool) (Result, *Capture, error) {

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(2.5)
+	g.Add(-4)
+	if got := g.Value(); got != 8.5 {
+		t.Fatalf("Value() = %v, want 8.5", got)
+	}
+
+	// Level-gauge contract: concurrent up/down movements must not lose
+	// updates (the reason Add exists instead of Set(Value()+d)).
+	var lvl Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				lvl.Add(1)
+				lvl.Add(-1)
+			}
+			lvl.Add(3)
+		}()
+	}
+	wg.Wait()
+	if got := lvl.Value(); got != 24 {
+		t.Fatalf("concurrent Add lost updates: Value() = %v, want 24", got)
+	}
+}
+
+func TestGaugeAddNilSafe(t *testing.T) {
+	var g *Gauge
+	g.Add(1) // must not panic
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge Value() = %v", got)
+	}
+}

@@ -132,6 +132,24 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
+// Add shifts the gauge by delta (negative deltas decrease it), atomically
+// with respect to concurrent Add and Set calls. It exists for level-style
+// gauges — queue depths, in-use pool slots — that many workers move up and
+// down concurrently, where read-modify-write through Set would lose
+// updates.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Value returns the last recorded value (0 on a nil handle).
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -37,16 +37,30 @@ type Ports struct {
 // NewPorts snapshots the network's current port state into every lane of a
 // fresh Ports. lanes must be at least 1.
 func (n *Network) NewPorts(lanes int) (*Ports, error) {
+	return n.SnapshotPortsInto(nil, lanes)
+}
+
+// SnapshotPortsInto re-snapshots the network's current port state into
+// every lane of p, reshaping p to lanes lanes and reusing its backing
+// stripes when they are large enough (they grow monotonically, so a
+// recycled Ports stops allocating once it has seen the largest lane
+// count). A nil p builds a fresh Ports. lanes must be at least 1.
+func (n *Network) SnapshotPortsInto(p *Ports, lanes int) (*Ports, error) {
 	if lanes < 1 {
 		return nil, fmt.Errorf("simnet: %d replay lanes, need >= 1", lanes)
 	}
 	nics := n.cfg.NICs()
-	p := &Ports{
-		nics:     nics,
-		lanes:    lanes,
-		sendFree: make([]float64, lanes*nics),
-		recvFree: make([]float64, lanes*nics),
+	if p == nil {
+		p = &Ports{}
 	}
+	p.nics, p.lanes = nics, lanes
+	need := lanes * nics
+	if cap(p.sendFree) < need {
+		p.sendFree = make([]float64, need)
+		p.recvFree = make([]float64, need)
+	}
+	p.sendFree = p.sendFree[:need]
+	p.recvFree = p.recvFree[:need]
 	for l := 0; l < lanes; l++ {
 		copy(p.sendFree[l*nics:(l+1)*nics], n.sendFree)
 		copy(p.recvFree[l*nics:(l+1)*nics], n.recvFree)
@@ -124,6 +138,9 @@ func (n *Network) DrawJitterInto(dst []float64) {
 			dst[i] = 1
 		}
 		return
+	}
+	if len(dst) > 0 {
+		n.used = true
 	}
 	for i := range dst {
 		dst[i] = n.jitterFactor()

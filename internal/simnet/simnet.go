@@ -161,6 +161,11 @@ type Network struct {
 	rng      *rand.Rand
 	nTx      int64
 	trace    func(Transfer)
+	// used records whether any port state or noise draw has been consumed
+	// since the last Reset, letting Reset skip the port sweep and reseed on
+	// an already-pristine network — the common case on the replay warm
+	// path, where echo validation touches no network state between runs.
+	used bool
 	// pert holds the expanded perturbation tables; nil on an unperturbed
 	// network, which keeps the hot path on the exact legacy arithmetic.
 	pert *pertState
@@ -215,6 +220,7 @@ func (n *Network) Transmit(src, dst, bytes int, now float64) (Transfer, error) {
 	if bytes < 0 {
 		return Transfer{}, fmt.Errorf("simnet: negative size %d", bytes)
 	}
+	n.used = true
 	t := Transfer{Src: src, Dst: dst, Bytes: bytes, Issued: now}
 	srcNIC, dstNIC := n.cfg.nic(src), n.cfg.nic(dst)
 	lt := n.TimingFor(src, dst, bytes)
@@ -269,8 +275,13 @@ func (c Config) PointToPointTime(bytes int) float64 {
 // stream, so that consecutive experiments on the same Network are
 // independent and reproducible. The existing generator is reseeded in
 // place — Reset allocates nothing, which matters inside measurement
-// sweeps that Reset once per repetition.
+// sweeps that Reset once per repetition. Resetting a network that has not
+// transmitted or drawn noise since its last Reset is a no-op, so
+// back-to-back Resets on the warm path cost one branch.
 func (n *Network) Reset() {
+	if !n.used {
+		return
+	}
 	for i := range n.sendFree {
 		n.sendFree[i] = 0
 		n.recvFree[i] = 0
@@ -279,4 +290,5 @@ func (n *Network) Reset() {
 		n.rng.Seed(n.cfg.NoiseSeed)
 	}
 	n.nTx = 0
+	n.used = false
 }

@@ -1,0 +1,97 @@
+package simnet
+
+import "testing"
+
+// TestResetFastPathPreservesDeterminism checks that the Reset no-op on an
+// untouched network cannot be observed: jitter streams and port state
+// behave exactly as if every Reset did the full sweep.
+func TestResetFastPathPreservesDeterminism(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseAmplitude = 0.05
+	cfg.NoiseSeed = 77
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func() []float64 {
+		out := make([]float64, 16)
+		n.DrawJitterInto(out)
+		return out
+	}
+	n.Reset() // pristine network: no-op, but must still leave it pristine
+	first := draw()
+	n.Reset() // consumed draws: must reseed
+	n.Reset() // back-to-back: no-op
+	second := draw()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("draw %d after Reset: %v != %v", i, second[i], first[i])
+		}
+	}
+
+	// Transfers mark the network used too: Reset must clear port state.
+	if _, err := n.Transmit(0, 1, 4096, 0); err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := n.Transmit(0, 1, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.StartTx == cfg.SendOverhead {
+		t.Fatal("second transfer did not queue behind the first")
+	}
+	n.Reset()
+	tr2, err := n.Transmit(0, 1, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.StartTx != cfg.SendOverhead {
+		t.Fatalf("post-Reset transfer StartTx = %v, want %v (idle port)", tr2.StartTx, cfg.SendOverhead)
+	}
+	if n.Transfers() != 1 {
+		t.Fatalf("Transfers() = %d after Reset+1, want 1", n.Transfers())
+	}
+}
+
+// TestSnapshotPortsIntoReuse checks that re-snapshotting into a recycled
+// Ports — growing and shrinking the lane count — is indistinguishable
+// from a fresh NewPorts.
+func TestSnapshotPortsIntoReuse(t *testing.T) {
+	cfg := testConfig()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy some ports so snapshots carry real state.
+	for i := 0; i < 3; i++ {
+		if _, err := n.Transmit(0, 1, 1<<16, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var recycled *Ports
+	lt := n.TimingFor(2, 3, 8192)
+	for _, lanes := range []int{4, 1, 6} {
+		fresh, err := n.NewPorts(lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recycled, err = n.SnapshotPortsInto(recycled, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recycled.Lanes() != lanes || recycled.NICs() != fresh.NICs() {
+			t.Fatalf("lanes=%d: shape %d×%d, want %d×%d",
+				lanes, recycled.Lanes(), recycled.NICs(), fresh.Lanes(), fresh.NICs())
+		}
+		for l := 0; l < lanes; l++ {
+			s1, d1 := fresh.Transmit(l, 2, 3, lt, float64(l)*1e-6, 1.01)
+			s2, d2 := recycled.Transmit(l, 2, 3, lt, float64(l)*1e-6, 1.01)
+			if s1 != s2 || d1 != d2 {
+				t.Fatalf("lanes=%d lane %d: (%v,%v) != (%v,%v)", lanes, l, s2, d2, s1, d1)
+			}
+		}
+	}
+	if _, err := n.SnapshotPortsInto(nil, 0); err == nil {
+		t.Fatal("0 lanes accepted")
+	}
+}

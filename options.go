@@ -35,7 +35,9 @@ func WithSizes(sizes ...int) Option {
 
 // WithWorkers bounds the measurement concurrency of the calibration
 // sweep. 0 (the default) means GOMAXPROCS; 1 reproduces the serial path.
-// Concurrency never changes the fitted parameters.
+// The effective count is clamped to GOMAXPROCS — measurements are pure
+// CPU, so oversubscribing cores only adds overhead — which makes any
+// value safe to pass. Concurrency never changes the fitted parameters.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.cfg.Workers = n }
 }
