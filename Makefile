@@ -42,7 +42,10 @@ bench:
 	@rm -f .bench_replay.txt
 	$(GO) run ./cmd/benchjson -scaling -scaling-out BENCH_sweepscale.json -threshold -1 < .bench_sweep.txt
 	@rm -f .bench_sweep.txt
-	@echo "wrote BENCH_sched.json, BENCH_replay.json and BENCH_sweepscale.json"
+	$(GO) test -bench=PlanCache -benchmem -run='^$$' ./internal/experiment/ > .bench_plancache.txt
+	$(GO) run ./cmd/benchjson < .bench_plancache.txt > BENCH_plancache.json
+	@rm -f .bench_plancache.txt
+	@echo "wrote BENCH_sched.json, BENCH_replay.json, BENCH_sweepscale.json and BENCH_plancache.json"
 
 # Regression gate: re-run the sweep benchmarks and compare against a
 # recorded baseline (default: the scheduler-engine record). Fails when
@@ -52,14 +55,20 @@ bench:
 # is generous on purpose: on a single-core box every worker count runs
 # the same clamped serial sweep and differs only by timer noise, while
 # the regression this gate exists for (workers=8 at 2.2x the workers=1
-# wall-clock) blows well past it.
+# wall-clock) blows well past it. The plan-cache breakdown (scheduler
+# vs capture vs rebind per point) is gated against its own record, so a
+# rebind-path slowdown cannot hide inside the sweep aggregate.
 BASELINE ?= BENCH_sched.json
+PLANCACHE_BASELINE ?= BENCH_plancache.json
 SCALING_THRESHOLD ?= 0.5
 benchdiff:
 	$(GO) test -bench=Sweep -benchmem -run='^$$' ./internal/experiment/ > .bench_diff.txt
 	$(GO) run ./cmd/benchjson -baseline $(BASELINE) < .bench_diff.txt
 	$(GO) run ./cmd/benchjson -scaling -threshold $(SCALING_THRESHOLD) < .bench_diff.txt
 	@rm -f .bench_diff.txt
+	$(GO) test -bench=PlanCache -benchmem -run='^$$' ./internal/experiment/ > .bench_pc_diff.txt
+	$(GO) run ./cmd/benchjson -baseline $(PLANCACHE_BASELINE) < .bench_pc_diff.txt
+	@rm -f .bench_pc_diff.txt
 
 # The per-artifact paper benchmarks (tables and figures at reduced scale).
 benchpaper:

@@ -37,8 +37,10 @@
 // before sweeping (package perturb's spec syntax, e.g.
 // "straggler:node=0,cpu=2;link:src=0,dst=1,bw=4"); -perturb-random
 // generates one from an intensity in (0,1] and -perturb-seed. -v reports
-// how many measurements fell back from the replay engine to the
-// scheduler, and why.
+// the plan-template cache's work split (plans captured per structure
+// class vs grid points rebound from a cached template, plus any rebind
+// divergences) and how many measurements fell back from the replay
+// engine to the scheduler, and why.
 //
 // -metrics writes a JSON observability artifact of the sweep — points
 // measured vs cached, per-engine repetition counts, fallback tallies,
@@ -260,7 +262,9 @@ func run(args []string, out io.Writer) (err error) {
 			return err
 		}
 	}
-	if *metricsPath != "" {
+	if *metricsPath != "" || *verbose {
+		// -v reads the plan-template counters back out of the registry, so
+		// it needs one even without a -metrics artifact.
 		sw.Metrics = obs.NewRegistry()
 	}
 
@@ -293,6 +297,10 @@ func run(args []string, out io.Writer) (err error) {
 
 	fmt.Fprintf(out, "broadcast sweep on %s, P=%d, segment=%d B\n", pr.Name, *np, *seg)
 	if *verbose {
+		captured := sw.Metrics.Counter("experiment_plan_templates_total").Value()
+		rebound := sw.Metrics.Counter("experiment_plan_rebinds_total").Value()
+		diverged := sw.Metrics.Counter(obs.Name("experiment_fallbacks_total", "reason", "rebind-divergence")).Value()
+		fmt.Fprintf(out, "plan templates: %d captured, %d points rebound, %d rebind divergences\n", captured, rebound, diverged)
 		if counts := experiment.CountFallbacks(results); len(counts) == 0 {
 			fmt.Fprintln(out, "engine fallbacks: none")
 		} else {

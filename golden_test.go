@@ -145,11 +145,13 @@ func TestGoldenBcastDeterminism(t *testing.T) {
 }
 
 // TestGoldenSweepDeterminism asserts that the sweep engine reproduces the
-// pinned per-point means bit-identically regardless of worker count and
-// execution engine — worker-local Runner reuse, scheduling order, and the
-// plan-replay fast path must not leak into the measurements. The replay
-// engine is forced (no scheduler fallback) in its sub-tests, so the pinned
-// seed-era constants double as the replay engine's golden contract.
+// pinned per-point means bit-identically regardless of worker count,
+// execution engine, and plan-template caching — worker-local Runner reuse,
+// scheduling order, the plan-replay fast path, and the template rebind
+// fast path must not leak into the measurements. The replay engine is
+// forced (no scheduler fallback) in its sub-tests, so the pinned seed-era
+// constants double as the replay engine's golden contract, with templates
+// on and off.
 func TestGoldenSweepDeterminism(t *testing.T) {
 	pr := goldenProfile(t)
 	set := experiment.Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 10, Warmup: 1}
@@ -159,22 +161,37 @@ func TestGoldenSweepDeterminism(t *testing.T) {
 	}
 	for _, engine := range []experiment.Engine{experiment.EngineScheduler, experiment.EngineAuto, experiment.EngineReplay} {
 		for _, workers := range []int{1, 8} {
-			t.Run(fmt.Sprintf("engine=%v/workers=%d", engine, workers), func(t *testing.T) {
-				set := set
-				set.Engine = engine
-				sw := experiment.Sweep{Profile: pr, Settings: set, Workers: workers}
-				results, err := sw.Run(context.Background(), grid)
-				if err != nil {
-					t.Fatal(err)
+			for _, noTemplates := range []bool{false, true} {
+				if noTemplates && engine == experiment.EngineScheduler {
+					continue // the scheduler engine never consults templates
 				}
-				for i, r := range results {
-					if r.Meas.Mean != goldenSweepMeans[i] {
-						t.Errorf("point %v: mean = %x, golden %x", r.Point, r.Meas.Mean, goldenSweepMeans[i])
+				t.Run(fmt.Sprintf("engine=%v/workers=%d/templates=%v", engine, workers, !noTemplates), func(t *testing.T) {
+					set := set
+					set.Engine = engine
+					sw := experiment.Sweep{Profile: pr, Settings: set, Workers: workers, DisableTemplates: noTemplates}
+					results, err := sw.Run(context.Background(), grid)
+					if err != nil {
+						t.Fatal(err)
 					}
-				}
-			})
+					for i, r := range results {
+						if r.Meas.Mean != goldenSweepMeans[i] {
+							t.Errorf("point %v: mean = %x, golden %x", r.Point, r.Meas.Mean, goldenSweepMeans[i])
+						}
+					}
+				})
+			}
 		}
 	}
+}
+
+// goldenGridClasses counts the distinct structure classes of a bcast
+// grid — the number of scheduler captures a serial templated sweep does.
+func goldenGridClasses(grid []experiment.Point) int {
+	keys := make(map[string]bool)
+	for _, pt := range grid {
+		keys[coll.BcastClassKey(pt.Alg, pt.Procs, pt.MsgBytes, pt.SegSize)] = true
+	}
+	return len(keys)
 }
 
 // TestGoldenSweepMetricsInvariance is the observability layer's
@@ -217,6 +234,32 @@ func TestGoldenSweepMetricsInvariance(t *testing.T) {
 				}
 				if reg.Counter("mpi_runs_total").Value() == 0 {
 					t.Error("mpi_runs_total not populated")
+				}
+				tpls := reg.Counter("experiment_plan_templates_total").Value()
+				rebinds := reg.Counter("experiment_plan_rebinds_total").Value()
+				if engine == experiment.EngineScheduler {
+					if tpls != 0 || rebinds != 0 {
+						t.Errorf("scheduler engine touched the template cache: %d templates, %d rebinds", tpls, rebinds)
+					}
+				} else {
+					// Every point is either captured (publishing a template)
+					// or rebound; racing workers may duplicate a class's
+					// capture but can never miss one, so the counters must
+					// account for the whole grid with at most per-class
+					// captures plus duplicates.
+					classes := int64(goldenGridClasses(grid))
+					if tpls+rebinds != int64(len(grid)) {
+						t.Errorf("%d templates + %d rebinds != %d grid points", tpls, rebinds, len(grid))
+					}
+					if tpls < classes {
+						t.Errorf("%d templates for %d structure classes", tpls, classes)
+					}
+					if workers == 1 && tpls != classes {
+						t.Errorf("serial sweep captured %d times for %d classes — capture is not once-per-class", tpls, classes)
+					}
+					if n := reg.Counter(obs.Name("experiment_fallbacks_total", "reason", "rebind-divergence")).Value(); n != 0 {
+						t.Errorf("%d unexplained rebind-divergence fallbacks", n)
+					}
 				}
 			})
 		}

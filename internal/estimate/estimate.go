@@ -127,6 +127,13 @@ type AlphaBetaConfig struct {
 	// experiment.Cache); repeated calibrations of the same profile with
 	// the same settings skip their measurements entirely.
 	Cache *experiment.Cache
+	// DisablePlanTemplates switches off the calibration sweep's
+	// plan-template fast path (capture one execution plan per structure
+	// class, rebind it goroutine-free for every other grid point); every
+	// replay-eligible point then captures its own plan. Fitted parameters
+	// are bit-identical either way; the switch exists for benchmarking
+	// and debugging.
+	DisablePlanTemplates bool
 	// Progress, if non-nil, observes every completed measurement.
 	Progress experiment.Progress
 	// Metrics, if non-nil, receives the calibration sweep's counters plus
@@ -139,12 +146,13 @@ type AlphaBetaConfig struct {
 // sweep builds the measurement engine the config describes.
 func (c AlphaBetaConfig) sweep(pr cluster.Profile) experiment.Sweep {
 	return experiment.Sweep{
-		Profile:  pr,
-		Settings: c.Settings,
-		Workers:  c.Workers,
-		Cache:    c.Cache,
-		Progress: c.Progress,
-		Metrics:  c.Metrics,
+		Profile:          pr,
+		Settings:         c.Settings,
+		Workers:          c.Workers,
+		Cache:            c.Cache,
+		DisableTemplates: c.DisablePlanTemplates,
+		Progress:         c.Progress,
+		Metrics:          c.Metrics,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
+	"mpicollperf/internal/mpi"
 	"mpicollperf/internal/stats"
 )
 
@@ -52,8 +53,21 @@ func BenchmarkSweep(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
-			sw := Sweep{Profile: pr, Settings: benchSweepSettings(b), Workers: workers}
+			// The template store persists across the b.N sweeps, as a
+			// repeated calibration's does (each run's structure classes are
+			// captured once, then every later point — and every later
+			// sweep — rebinds); the scheduler-engine record ignores it.
+			// Results are bit-identical with or without the store. One
+			// untimed warm-up sweep captures the class templates so every
+			// timed iteration measures the homogeneous steady state, as
+			// BenchmarkSweepWarmPool and BenchmarkSweepCached do; the cold
+			// capture cost is recorded per path by BenchmarkPlanCache.
+			sw := Sweep{Profile: pr, Settings: benchSweepSettings(b), Workers: workers, Templates: mpi.NewTemplateStore()}
 			b.ReportMetric(float64(len(grid)), "points/sweep")
+			if _, err := sw.Run(context.Background(), grid); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sw.Run(context.Background(), grid); err != nil {
 					b.Fatal(err)
@@ -61,6 +75,58 @@ func BenchmarkSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPlanCache breaks one grid point's cost down by measurement
+// path: the full scheduler loop, the replay engine's capture (scheduler
+// repetition + echo validation + replay), and the template fast path
+// (goroutine-free rebind + replay). The rebind line is what every point
+// after the first of a structure class costs; BENCH_plancache.json
+// records the three side by side.
+func BenchmarkPlanCache(b *testing.B) {
+	pr, err := cluster.Grisou().WithNodes(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const m = 1 << 20
+	set := Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 10, Warmup: 1}
+	reuse, err := newProfileRunner(pr, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	point := func(b *testing.B, set Settings, store *mpi.TemplateStore) {
+		b.Helper()
+		if _, err := measureBcastOn(reuse, pr, pr.Nodes, coll.BcastBinomial, m, pr.SegmentSize, set, store); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("path=scheduler", func(b *testing.B) {
+		b.ReportAllocs()
+		set := set
+		set.Engine = EngineScheduler
+		for i := 0; i < b.N; i++ {
+			point(b, set, nil)
+		}
+	})
+	b.Run("path=capture", func(b *testing.B) {
+		b.ReportAllocs()
+		set := set
+		set.Engine = EngineReplay
+		for i := 0; i < b.N; i++ {
+			point(b, set, nil)
+		}
+	})
+	b.Run("path=rebind", func(b *testing.B) {
+		b.ReportAllocs()
+		set := set
+		set.Engine = EngineReplay
+		store := mpi.NewTemplateStore()
+		point(b, set, store) // capture the class template once
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			point(b, set, store)
+		}
+	})
 }
 
 // BenchmarkSweepWarmPool is BenchmarkSweep with a pre-warmed RunnerPool

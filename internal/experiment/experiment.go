@@ -93,6 +93,13 @@ const (
 	// perturbation (a brownout), whose effective parameters depend on
 	// virtual time; a captured plan cannot be re-timed under it.
 	FallbackTimeVarying FallbackReason = "time-varying-perturbation"
+	// FallbackRebindDivergence: the point's operation stream diverged from
+	// its structure class's plan template during a rebind pass
+	// (mpi.Runner.Rebind); the point was re-measured through the full
+	// capture path. The measurement still ran on the replay engine, so
+	// this reason appears only in the metrics registry, never on a
+	// Measurement.
+	FallbackRebindDivergence FallbackReason = "rebind-divergence"
 )
 
 // Settings controls the adaptive repetition loop.
@@ -181,10 +188,13 @@ var (
 	mRepsReplay       = obs.Name("experiment_reps_total", "engine", "replay")
 	mRepsScheduler    = obs.Name("experiment_reps_total", "engine", "scheduler")
 	mReplayTransfers  = "experiment_replay_transfers_total"
+	mPlanTemplates    = "experiment_plan_templates_total"
+	mPlanRebinds      = "experiment_plan_rebinds_total"
 	mFallbacksByWhy   = map[FallbackReason]string{}
 	fallbackReasonSet = []FallbackReason{
 		FallbackPayload, FallbackMarkInOp, FallbackPlan,
 		FallbackEchoDivergence, FallbackTimeVarying,
+		FallbackRebindDivergence,
 	}
 )
 
@@ -206,6 +216,22 @@ func Measure(net *simnet.Network, nprocs int, set Settings, mode Mode, op Op) (M
 	return MeasureOn(mpi.NewRunnerOn(net, mpi.Options{}), nprocs, set, mode, op)
 }
 
+// planClass identifies a measurement's structure class for the plan
+// template cache: key is the class key (e.g. coll.BcastClassKey) and
+// store is where the class's template lives. The zero value disables
+// templating: MeasureOn captures and replays as before. With a class
+// attached, the first measured point of a class publishes its validated
+// plan as the class template, and every later point of the class rebinds
+// the template goroutine-free (mpi.Runner.Rebind) instead of capturing
+// under the scheduler — with bit-identical samples either way.
+type planClass struct {
+	key   string
+	store *mpi.TemplateStore
+}
+
+// enabled reports whether the class can consult a template store.
+func (c planClass) enabled() bool { return c.store != nil && c.key != "" }
+
 // MeasureOn is Measure on a reusable Runner: callers measuring many
 // points on the same platform (the sweep engine, the calibration loops)
 // keep one warm Runner per worker instead of rebuilding scheduler state
@@ -219,6 +245,12 @@ func Measure(net *simnet.Network, nprocs int, set Settings, mode Mode, op Op) (M
 // repetitions with the allocation-free replay engine, producing
 // bit-identical samples at a fraction of the cost.
 func MeasureOn(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (Measurement, error) {
+	return measureOnClass(r, nprocs, set, mode, op, planClass{})
+}
+
+// measureOnClass is MeasureOn with an optional structure class attached
+// (the plan-template fast path; see planClass).
+func measureOnClass(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op, cls planClass) (Measurement, error) {
 	set = set.withDefaults()
 	m := r.Metrics()
 	if set.Engine == EngineScheduler {
@@ -230,7 +262,23 @@ func MeasureOn(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (Measu
 	}
 	why := FallbackNone
 	if r.Network().ReplayInvariant() {
-		meas, reason, err := measureReplay(r, nprocs, set, mode, op)
+		if cls.enabled() {
+			if tpl := cls.store.Get(cls.key); tpl != nil {
+				meas, rerr := measureRebound(r, nprocs, set, mode, op, tpl)
+				if rerr == nil {
+					m.Counter(mPlanRebinds).Inc()
+					m.Counter(mRepsReplay).Add(int64(meas.Reps))
+					return meas, nil
+				}
+				// The point's structure diverged from its class template
+				// (or the template no longer fits the network): re-measure
+				// through the full capture path, which also refreshes the
+				// template. Replay is still used, so this fallback is a
+				// metrics-only event.
+				m.Counter(mFallbacksByWhy[FallbackRebindDivergence]).Inc()
+			}
+		}
+		meas, reason, err := measureReplay(r, nprocs, set, mode, op, cls)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -345,7 +393,11 @@ const replayLanes = 8
 // engine — the echo detected structural divergence, the program carries
 // payload bytes (which an echo cannot deliver), or the plan does not
 // close over a repetition — and the caller reruns it there.
-func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (meas Measurement, reason FallbackReason, err error) {
+//
+// When a structure class is attached, the plan is published to the
+// class's template store once the echo run has validated it, so later
+// points of the class rebind it instead of capturing.
+func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op, cls planClass) (meas Measurement, reason FallbackReason, err error) {
 	var (
 		captured    float64
 		barrierCost float64
@@ -470,6 +522,13 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 		}
 		// The plan is validated; later repetitions need no echo clocks.
 		rp.DiscardEchoClocks()
+		// Publish the validated plan as its structure class's template
+		// (Put clones, so the Runner's recycled plan buffer is safe to
+		// keep using below).
+		if cls.enabled() {
+			cls.store.Put(cls.key, plan)
+			r.Metrics().Counter(mPlanTemplates).Inc()
+		}
 		sample := marks[1] - marks[0]
 		if mode == Completion {
 			sample -= barrierCost
@@ -520,6 +579,130 @@ func measureReplay(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op) (m
 	return finishMeasurement(meas), FallbackNone, nil
 }
 
+// measureRebound is the plan-template fast path: the point's repetition
+// closures are rebound onto its structure class's template
+// (mpi.Runner.Rebind) — a goroutine-free structural pass that harvests
+// the new byte counts and recomputes link timings — and then *every*
+// repetition, including the first, is re-timed by the Replayer. No
+// scheduler run happens at all.
+//
+// Bit-identicality with the capture path: a capturing run's preamble (two
+// calibration barriers from clock zero) consumes no jitter and leaves
+// every rank's clock at exactly twice the analytical barrier cost, so
+// replaying the rebound plan from those clocks, idle ports, and a freshly
+// reseeded noise stream performs literally the same floating-point
+// arithmetic as the scheduler run of repetition 0 — and the chained lanes
+// reproduce repetitions 1..N exactly as the capture path replays them.
+// The sample sequence, and hence the Measurement, is bit-identical to
+// both other engines.
+//
+// An error means the point diverged from its template (or the template
+// does not fit the Runner's network); the caller falls back to the full
+// capture path, which re-publishes a fresh template.
+func measureRebound(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op, tpl *mpi.Plan) (Measurement, error) {
+	if tpl.Procs() != nprocs {
+		return Measurement{}, fmt.Errorf("experiment: rebind: template spans %d ranks, point has %d", tpl.Procs(), nprocs)
+	}
+	// Reset first: the rebind pass recomputes link timings from the
+	// network's quiet state, and the replay below must consume the noise
+	// stream from the exact position a capturing run would have.
+	r.Network().Reset()
+	plan, err := r.Rebind(tpl, func(p *mpi.Proc) error {
+		root := p.Rank() == 0
+		p.Barrier() // open: align all ranks
+		if root {
+			p.Mark() // sample start
+		}
+		op(p)
+		if mode == Completion {
+			p.Barrier() // close: wait for global completion
+		}
+		if root {
+			p.Mark() // sample end
+		}
+		p.Barrier() // decide (chains repetitions exactly as captured)
+		return nil
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	// The capturing preamble's two calibration barriers release all ranks
+	// at exactly bc and then bc+bc; start the replay from those clocks.
+	bc := plan.BarrierCost()
+	start := make([]float64, nprocs)
+	for i := range start {
+		start[i] = bc + bc
+	}
+
+	var meas Measurement
+	meas.Samples = make([]float64, 0, set.MaxReps)
+	stop := false
+	push := func(sample float64) {
+		meas.Samples = append(meas.Samples, sample)
+		n := len(meas.Samples)
+		if n >= set.MinReps {
+			ci, err := stats.MeanCI(meas.Samples, set.Confidence)
+			converged := err == nil && ci.RelativeError() <= set.Precision
+			if converged || n >= set.MaxReps {
+				meas.CI = ci
+				meas.Converged = converged
+				stop = true
+			}
+		}
+	}
+	lanes := replayLanes
+	if rem := set.Warmup + set.MaxReps; rem < lanes {
+		lanes = rem
+	}
+	if lanes < 1 {
+		return Measurement{}, fmt.Errorf("experiment: rebind: no repetitions to replay")
+	}
+	rp, err := r.NewReplayer(plan, start, lanes)
+	if err != nil {
+		return Measurement{}, err
+	}
+	// The template was echo-validated when it was captured; no echo run is
+	// needed for a structurally identical rebind.
+	rp.DiscardEchoClocks()
+	rep := 0
+	firstDecision := set.Warmup + set.MinReps - 1
+	for !stop {
+		need := 1
+		if rep <= firstDecision {
+			need = firstDecision - rep + 1
+		}
+		k := need
+		if k > lanes {
+			k = lanes
+		}
+		if rem := set.Warmup + set.MaxReps - rep; rem < k {
+			k = rem
+		}
+		if k < 1 {
+			return Measurement{}, fmt.Errorf("experiment: rebind: replay budget exhausted before a decision")
+		}
+		marks, mok := rp.Replay(k)
+		if !mok {
+			return Measurement{}, fmt.Errorf("experiment: rebind: rebound plan does not close over a repetition")
+		}
+		for l := 0; l < k && !stop; l++ {
+			sample := marks[l*2+1] - marks[l*2]
+			if mode == Completion {
+				sample -= bc
+			}
+			if rep >= set.Warmup {
+				push(sample)
+			}
+			rep++
+		}
+	}
+	if m := r.Metrics(); m != nil {
+		// Every repetition was re-timed by the replayer.
+		m.Counter(mReplayTransfers).Add(int64(rep) * int64(plan.Sends()))
+	}
+	return finishMeasurement(meas), nil
+}
+
 // MeasureBcast measures one broadcast configuration on a cluster profile:
 // algorithm alg broadcasting m bytes from rank 0 to nprocs ranks with the
 // given segment size, in Completion mode (the time until every rank holds
@@ -535,12 +718,25 @@ func MeasureBcast(pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, se
 // MeasureBcastOn is MeasureBcast on a reusable Runner built from pr (see
 // newProfileRunner); the sweep engine keeps one warm Runner per worker.
 func MeasureBcastOn(r *mpi.Runner, pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize int, set Settings) (Measurement, error) {
+	return measureBcastOn(r, pr, nprocs, alg, m, segSize, set, nil)
+}
+
+// measureBcastOn is MeasureBcastOn with an optional plan-template store:
+// when tmpl is non-nil the point carries its structure-class key
+// (coll.BcastClassKey), so the first point of each (algorithm,
+// communicator, segment-count) class captures under the scheduler and
+// every later point rebinds that class's template goroutine-free.
+func measureBcastOn(r *mpi.Runner, pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize int, set Settings, tmpl *mpi.TemplateStore) (Measurement, error) {
 	if nprocs > pr.Nodes {
 		return Measurement{}, fmt.Errorf("experiment: %d procs exceed %s's %d nodes", nprocs, pr.Name, pr.Nodes)
 	}
-	return MeasureOn(r, nprocs, set, Completion, func(p *mpi.Proc) {
+	cls := planClass{}
+	if tmpl != nil {
+		cls = planClass{key: coll.BcastClassKey(alg, nprocs, m, segSize), store: tmpl}
+	}
+	return measureOnClass(r, nprocs, set, Completion, func(p *mpi.Proc) {
 		coll.Bcast(p, alg, 0, coll.Synthetic(m), segSize)
-	})
+	}, cls)
 }
 
 // newProfileRunner builds a reusable Runner on a fresh network of the
@@ -570,17 +766,30 @@ func MeasureBcastThenGather(pr cluster.Profile, nprocs int, alg coll.BcastAlgori
 // MeasureBcastThenGatherOn is MeasureBcastThenGather on a reusable Runner
 // built from pr.
 func MeasureBcastThenGatherOn(r *mpi.Runner, pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize, mg int, set Settings) (Measurement, error) {
+	return measureBcastThenGatherOn(r, pr, nprocs, alg, m, segSize, mg, set, nil)
+}
+
+// measureBcastThenGatherOn is MeasureBcastThenGatherOn with an optional
+// plan-template store. The linear-without-synchronisation gather's
+// structure is a function of the communicator size alone (its per-rank
+// bytes are harvested by the rebind), so the class key is the broadcast's
+// with a gather suffix.
+func measureBcastThenGatherOn(r *mpi.Runner, pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize, mg int, set Settings, tmpl *mpi.TemplateStore) (Measurement, error) {
 	if nprocs > pr.Nodes {
 		return Measurement{}, fmt.Errorf("experiment: %d procs exceed %s's %d nodes", nprocs, pr.Name, pr.Nodes)
 	}
-	return MeasureOn(r, nprocs, set, RootTime, func(p *mpi.Proc) {
+	cls := planClass{}
+	if tmpl != nil {
+		cls = planClass{key: coll.BcastClassKey(alg, nprocs, m, segSize) + "+gatherlinear", store: tmpl}
+	}
+	return measureOnClass(r, nprocs, set, RootTime, func(p *mpi.Proc) {
 		coll.Bcast(p, alg, 0, coll.Synthetic(m), segSize)
 		if p.Rank() == 0 {
 			coll.Gather(p, coll.GatherLinearNoSync, 0, coll.Synthetic(mg*p.Size()), mg)
 		} else {
 			coll.Gather(p, coll.GatherLinearNoSync, 0, coll.Synthetic(mg), mg)
 		}
-	})
+	}, cls)
 }
 
 // MeasureLinearBcast measures the non-blocking linear broadcast of one

@@ -140,6 +140,20 @@ type Sweep struct {
 	// have been built for this Profile (NewRunnerPool does exactly that);
 	// lending a pool across different profiles is a programming error.
 	Pool *mpi.RunnerPool
+	// Templates, if non-nil, is the plan-template store the replay engine
+	// uses to capture each structure class once and rebind every other
+	// point of the class goroutine-free (mpi.Runner.Rebind). When nil and
+	// templating is not disabled, Run uses the Pool's store (which
+	// persists across sweeps) or, pool-less, a store scoped to the Run.
+	// Templates are keyed by structure class within one platform, so a
+	// store must not be shared across Profiles; samples are bit-identical
+	// with templating on, off, or partially warm.
+	Templates *mpi.TemplateStore
+	// DisableTemplates switches the plan-template fast path off: every
+	// point captures under the scheduler as in the pre-template engine.
+	// Results are bit-identical either way; the switch exists for
+	// benchmarking and for pinning that equivalence in tests.
+	DisableTemplates bool
 	// Cache, if non-nil, is consulted before and filled after each
 	// measurement, keyed by the full experiment identity (profile,
 	// point, settings).
@@ -213,6 +227,21 @@ func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
 	}
 	if s.Pool != nil && workers > s.Pool.Cap() {
 		workers = s.Pool.Cap()
+	}
+	// Resolve the plan-template store: an explicit one wins, then the
+	// pool's (persistent across sweeps), then a Run-scoped store so that
+	// structure classes recurring within this grid still capture once.
+	// The scheduler engine never consults templates.
+	tmpls := s.Templates
+	if tmpls == nil && !s.DisableTemplates && s.Settings.Engine != EngineScheduler {
+		if s.Pool != nil {
+			tmpls = s.Pool.Templates()
+		} else {
+			tmpls = mpi.NewTemplateStore()
+		}
+	}
+	if s.DisableTemplates {
+		tmpls = nil
 	}
 	s.Metrics.Gauge("sweep_workers").Set(float64(workers))
 	pending := s.Metrics.Gauge("sweep_points_pending")
@@ -290,7 +319,7 @@ func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
 					if ctx.Err() != nil {
 						return
 					}
-					r, err := s.measure(points[i], acquire)
+					r, err := s.measure(points[i], acquire, tmpls)
 					if err != nil {
 						fail(fmt.Errorf("sweep point %d (%v): %w", i, points[i], err))
 						return
@@ -319,8 +348,9 @@ func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
 
 // measure serves one point, through the cache when one is attached.
 // acquire returns the worker's Runner, creating or borrowing it on the
-// first measured point; cached points never touch a Runner.
-func (s Sweep) measure(pt Point, acquire func() (*mpi.Runner, error)) (Result, error) {
+// first measured point; cached points never touch a Runner. tmpls, which
+// may be nil, is the resolved plan-template store (see Sweep.Templates).
+func (s Sweep) measure(pt Point, acquire func() (*mpi.Runner, error), tmpls *mpi.TemplateStore) (Result, error) {
 	var key string
 	if s.Cache != nil {
 		key = cacheKey(s.Profile, pt, s.Settings)
@@ -336,9 +366,9 @@ func (s Sweep) measure(pt Point, acquire func() (*mpi.Runner, error)) (Result, e
 	var m Measurement
 	switch pt.Kind {
 	case PointBcast:
-		m, err = MeasureBcastOn(runner, s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, s.Settings)
+		m, err = measureBcastOn(runner, s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, s.Settings, tmpls)
 	case PointBcastThenGather:
-		m, err = MeasureBcastThenGatherOn(runner, s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, pt.GatherBytes, s.Settings)
+		m, err = measureBcastThenGatherOn(runner, s.Profile, pt.Procs, pt.Alg, pt.MsgBytes, pt.SegSize, pt.GatherBytes, s.Settings, tmpls)
 	default:
 		err = fmt.Errorf("experiment: unknown point kind %v", pt.Kind)
 	}

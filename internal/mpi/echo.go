@@ -42,11 +42,12 @@ func (p *Proc) echoStep(op *operation) float64 {
 	idx := e.next
 	e.next++
 	pe := &e.plan.events[idx]
+	pb := &e.plan.binds[idx]
 	want := evKind(0)
 	switch op.kind {
 	case opSleep:
 		want = evSleep
-		if pe.kind == evSleep && pe.dur != op.dur {
+		if pe.kind == evSleep && pb.dur != op.dur {
 			p.echoFail(op, idx, "duration changed")
 		}
 	case opMark:
@@ -55,7 +56,7 @@ func (p *Proc) echoStep(op *operation) float64 {
 		want = evBarrier
 	case opIsend:
 		want = evSend
-		if pe.kind == evSend && (pe.peer != op.peer || pe.tag != op.tag || pe.bytes != op.bytes) {
+		if pe.kind == evSend && (pe.peer != op.peer || pe.tag != op.tag || pb.bytes != op.bytes) {
 			p.echoFail(op, idx, "destination, tag, or size changed")
 		}
 		op.req.slot = pe.slot
@@ -65,7 +66,7 @@ func (p *Proc) echoStep(op *operation) float64 {
 			p.echoFail(op, idx, "source or tag changed")
 		}
 		op.req.slot = pe.slot
-		op.req.bytes = pe.bytes
+		op.req.bytes = pb.bytes
 	case opWait:
 		want = evWait
 		if pe.kind == evWait {

@@ -101,6 +101,10 @@ type Proc struct {
 	// echo, when non-nil, routes submitted operations to the echo
 	// validator (echo.go) instead of the scheduler.
 	echo *echoRank
+	// rebind, when non-nil, routes submitted operations to the rebind
+	// harvester (rebind.go): the structural pass of Runner.Rebind that
+	// binds a plan template to a new operation's sizes.
+	rebind *rebindRank
 }
 
 // Rank returns this process's rank in 0..Size()-1.
@@ -243,10 +247,17 @@ func (p *Proc) checkPeer(peer int, op string) {
 // submit hands an operation to the scheduler and blocks for the reply.
 // In an echo run there is no scheduler: the operation is validated
 // against the plan and the clock comes from the replayed release times.
+// In a rebind pass there is no scheduler either: the operation is
+// structurally validated against the template and its sizes are harvested
+// into the new binding, with the clock frozen.
 func (p *Proc) submit(op operation) {
 	op.rank = p.rank
 	if p.echo != nil {
 		p.clock = p.echoStep(&op)
+		return
+	}
+	if p.rebind != nil {
+		p.rebindStep(&op)
 		return
 	}
 	op.clock = p.clock

@@ -205,31 +205,45 @@ func (c *Capture) MarkCount() int { return len(c.marks) }
 // stay on the scheduler engine.
 func (c *Capture) HasPayload() bool { return c.payload }
 
-// planEvent is one event of a compiled Plan. All times are precomputed
-// structural constants (the send's effective LinkTiming from
-// simnet.Network.TimingFor, which folds in any time-invariant
-// perturbations); virtual times are produced only at replay. The owning
-// rank is implicit: events are stored rank-major (see Plan.rankOff).
+// planEvent is one structural event of a compiled Plan: the part of an
+// event that is a function of the program's communication pattern alone —
+// kind, endpoints, request wiring — and therefore shared by every grid
+// point of the same structure class. The owning rank is implicit: events
+// are stored rank-major (see Plan.rankOff). Per-point quantities (byte
+// counts, link timings, sleep durations, jitter-draw flags) live in the
+// parallel planBind array, so a template's skeleton can be rebound to a
+// new operation without recompiling (Runner.Rebind).
 type planEvent struct {
 	kind   evKind
 	srcNIC int32
 	dstNIC int32
-	draws  bool // consumes one jitter factor
 	slot   int32
 	// send: the recv slot the message binds, -1 if never received.
 	peerSlot int32
-	// peer rank, message tag, and byte count (for a receive: the matched
-	// message's size), kept so an echo run can byte-compare a re-executed
-	// operation stream against the plan.
-	peer  int
-	tag   int
+	// peer rank and message tag, kept so an echo or rebind pass can
+	// compare a re-executed operation stream against the plan.
+	peer int
+	tag  int
+	wOff int32
+	wLen int32
+}
+
+// planBind is the per-point binding of one plan event: everything replay
+// reads that depends on the operation's sizes rather than its structure.
+// All times are precomputed constants (the send's effective LinkTiming
+// from simnet.Network.TimingFor, which folds in any time-invariant
+// perturbations); virtual times are produced only at replay.
+type planBind struct {
+	// bytes is the message size (for a receive: the matched message's
+	// size, back-filled from the send).
 	bytes int
 	// lt is the send's effective timing parameters (zero for non-sends);
 	// lt.Local marks a co-located send: shared NIC, no ports, no jitter.
-	lt   simnet.LinkTiming
-	dur  float64
-	wOff int32
-	wLen int32
+	lt simnet.LinkTiming
+	// dur is the sleep duration (zero for non-sleeps).
+	dur float64
+	// draws reports that the send consumes one jitter factor.
+	draws bool
 }
 
 // Plan is the immutable, replayable structure of one repetition: the
@@ -251,17 +265,26 @@ type Plan struct {
 	slots       int
 	draws       int // jitter factors consumed per replay pass
 	marks       int // mark events per replay pass
+	sends       int // send events per replay pass (precomputed for Sends)
 	barrierCost float64
 	// rankOff[r]..rankOff[r+1] bound rank r's events; len nprocs+1.
-	rankOff   []int32
+	rankOff []int32
+	// events is the structural skeleton; binds is its parallel per-point
+	// binding (binds[i] belongs to events[i]). A rebound plan
+	// (Runner.Rebind) aliases a template's skeleton slices and owns only
+	// a fresh binds array.
 	events    []planEvent
+	binds     []planBind
 	waitSlots []int32
 	// slotOwner is the rank whose send/recv introduced each slot; slotPend
 	// is the number of halves that must complete before the slot's request
 	// is bound (1 for a send, 2 for a matched receive: the receive itself
-	// and its message's delivery).
+	// and its message's delivery). slotEvent maps each slot to the event
+	// that introduced it, so a rebind can back-fill receive byte counts
+	// from their matched sends without a scratch pass.
 	slotOwner []int32
 	slotPend  []uint8
+	slotEvent []int32
 }
 
 // Procs returns the number of ranks the plan spans.
@@ -277,22 +300,38 @@ func (p *Plan) Draws() int { return p.draws }
 func (p *Plan) Events() int { return len(p.events) }
 
 // Sends returns the number of send events one replay pass walks — the
-// transfers a single replayed repetition simulates.
-func (p *Plan) Sends() int {
-	n := 0
-	for i := range p.events {
-		if p.events[i].kind == evSend {
-			n++
-		}
-	}
-	return n
+// transfers a single replayed repetition simulates. The count is
+// precomputed at compile time; Sends is a field read, never a scan.
+func (p *Plan) Sends() int { return p.sends }
+
+// BarrierCost returns the analytical cost of one barrier under the plan's
+// runtime options — the constant a replay adds at every barrier release.
+// The measurement harness uses it to reconstruct the capturing program's
+// calibrated preamble clocks when replaying a rebound plan from scratch.
+func (p *Plan) BarrierCost() float64 { return p.barrierCost }
+
+// Clone returns a deep, independently-owned copy of the plan. Plans
+// compiled by Runner.CompilePlan (and rebound by Runner.Rebind) share the
+// Runner's recycled buffers; a caller that wants to outlive the next
+// compilation — a template store in particular — clones first.
+func (p *Plan) Clone() *Plan {
+	q := &Plan{}
+	*q = *p
+	q.rankOff = append([]int32(nil), p.rankOff...)
+	q.events = append([]planEvent(nil), p.events...)
+	q.binds = append([]planBind(nil), p.binds...)
+	q.waitSlots = append([]int32(nil), p.waitSlots...)
+	q.slotOwner = append([]int32(nil), p.slotOwner...)
+	q.slotPend = append([]uint8(nil), p.slotPend...)
+	q.slotEvent = append([]int32(nil), p.slotEvent...)
+	return q
 }
 
 // planScratch holds the temporary arrays of one Plan compilation, kept
 // so a Runner can recycle them across grid points (Runner.CompilePlan).
 type planScratch struct {
-	counts, bucketOff, buckets, fill, remap, slotEvent []int32
-	bound                                              []bool
+	counts, bucketOff, buckets, fill, remap []int32
+	bound                                   []bool
 }
 
 // growI32 returns a length-n int32 slice reusing s's capacity. The
@@ -332,13 +371,18 @@ func (c *Capture) plan(p *Plan, scratch *planScratch, fromMark, toMark int) (*Pl
 		nics:        c.cfg.NICs(),
 		barrierCost: c.barrierCost,
 		rankOff:     growI32(p.rankOff, c.nprocs+1),
-		events:       p.events[:0],
-		waitSlots:    p.waitSlots[:0],
-		slotOwner:    p.slotOwner[:0],
-		slotPend:     p.slotPend[:0],
+		events:      p.events[:0],
+		binds:       p.binds[:0],
+		waitSlots:   p.waitSlots[:0],
+		slotOwner:   p.slotOwner[:0],
+		slotPend:    p.slotPend[:0],
+		slotEvent:   p.slotEvent[:0],
 	}
 	if cap(p.events) < hi-lo {
 		p.events = make([]planEvent, 0, hi-lo)
+	}
+	if cap(p.binds) < hi-lo {
+		p.binds = make([]planBind, 0, hi-lo)
 	}
 	// Bucket the trace per rank. A rank's own events keep its program
 	// order under any jitter; barriers release only once every rank has
@@ -407,9 +451,9 @@ func (c *Capture) plan(p *Plan, scratch *planScratch, fromMark, toMark int) (*Pl
 			}
 		}
 	}
-	// bound marks canonical recv slots matched in-segment; slotEvent maps
-	// each canonical slot to its introducing event index (recv slots only
-	// are read back, and those are always written).
+	// bound marks canonical recv slots matched in-segment; p.slotEvent maps
+	// each canonical slot to its introducing event index (kept on the plan:
+	// a rebind pass reuses it to back-fill receive byte counts).
 	if cap(scratch.bound) < int(nslots) {
 		scratch.bound = make([]bool, nslots)
 	}
@@ -417,30 +461,33 @@ func (c *Capture) plan(p *Plan, scratch *planScratch, fromMark, toMark int) (*Pl
 	for i := range bound {
 		bound[i] = false
 	}
-	slotEvent := growI32(scratch.slotEvent, int(nslots))
-	scratch.slotEvent = slotEvent
+	p.slotEvent = growI32(p.slotEvent, int(nslots))
 	noisy := c.cfg.NoiseAmplitude > 0
 	for r := 0; r < c.nprocs; r++ {
 		p.rankOff[r] = int32(len(p.events))
 		for _, i := range perRank(r) {
 			if i < 0 {
 				p.events = append(p.events, planEvent{kind: evBarrier, peerSlot: -1})
+				p.binds = append(p.binds, planBind{})
 				continue
 			}
 			e := &c.events[i]
-			pe := planEvent{kind: e.kind, dur: e.dur, peerSlot: -1, peer: e.peer, tag: e.tag, bytes: e.bytes}
+			pe := planEvent{kind: e.kind, peerSlot: -1, peer: e.peer, tag: e.tag}
+			pb := planBind{bytes: e.bytes, dur: e.dur}
 			switch e.kind {
 			case evSend:
 				pe.slot = remap[e.slot]
 				pe.srcNIC = int32(c.cfg.NIC(int(e.rank)))
 				pe.dstNIC = int32(c.cfg.NIC(e.peer))
-				pe.lt = c.net.TimingFor(int(e.rank), e.peer, e.bytes)
-				if !pe.lt.Local {
-					pe.draws = noisy && pe.lt.TxTime > 0
-					if pe.draws {
+				pb.lt = c.net.TimingFor(int(e.rank), e.peer, e.bytes)
+				if !pb.lt.Local {
+					pb.draws = noisy && pb.lt.TxTime > 0
+					if pb.draws {
 						p.draws++
 					}
 				}
+				p.sends++
+				p.slotEvent[pe.slot] = int32(len(p.events))
 				if e.peerSlot >= 0 {
 					m := remap[e.peerSlot]
 					if m < 0 {
@@ -451,7 +498,7 @@ func (c *Capture) plan(p *Plan, scratch *planScratch, fromMark, toMark int) (*Pl
 				}
 			case evRecv:
 				pe.slot = remap[e.slot]
-				slotEvent[pe.slot] = int32(len(p.events))
+				p.slotEvent[pe.slot] = int32(len(p.events))
 			case evWait:
 				pe.wOff = int32(len(p.waitSlots))
 				pe.wLen = e.wLen
@@ -468,6 +515,7 @@ func (c *Capture) plan(p *Plan, scratch *planScratch, fromMark, toMark int) (*Pl
 				// nothing beyond the common fields
 			}
 			p.events = append(p.events, pe)
+			p.binds = append(p.binds, pb)
 		}
 	}
 	p.rankOff[c.nprocs] = int32(len(p.events))
@@ -476,7 +524,7 @@ func (c *Capture) plan(p *Plan, scratch *planScratch, fromMark, toMark int) (*Pl
 	// the send event; copy it over now that every event is emitted.
 	for i := range p.events {
 		if e := &p.events[i]; e.kind == evSend && e.peerSlot >= 0 {
-			p.events[slotEvent[e.peerSlot]].bytes = e.bytes
+			p.binds[p.slotEvent[e.peerSlot]].bytes = p.binds[i].bytes
 		}
 	}
 	// A waited receive whose message never arrives within the segment
@@ -497,7 +545,7 @@ func (c *Capture) plan(p *Plan, scratch *planScratch, fromMark, toMark int) (*Pl
 // the gate for replaying further repetitions from either plan.
 func (p *Plan) EquivalentTo(q *Plan) bool {
 	if p.nprocs != q.nprocs || p.nics != q.nics || p.slots != q.slots ||
-		p.draws != q.draws || p.marks != q.marks ||
+		p.draws != q.draws || p.marks != q.marks || p.sends != q.sends ||
 		p.barrierCost != q.barrierCost ||
 		len(p.events) != len(q.events) || len(p.waitSlots) != len(q.waitSlots) {
 		return false
@@ -508,7 +556,7 @@ func (p *Plan) EquivalentTo(q *Plan) bool {
 		}
 	}
 	for i := range p.events {
-		if p.events[i] != q.events[i] {
+		if p.events[i] != q.events[i] || p.binds[i] != q.binds[i] {
 			return false
 		}
 	}

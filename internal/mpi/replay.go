@@ -203,7 +203,7 @@ func (r *Replayer) replayLane(l int) bool {
 		e := &p.events[cur]
 		switch e.kind {
 		case evSleep:
-			key += e.dur
+			key += p.binds[cur].dur
 			r.laneClock[rank] = key
 		case evMark:
 			r.marks[r.mi] = key
@@ -217,16 +217,17 @@ func (r *Replayer) replayLane(l int) bool {
 			// The receive's own rank is busy here, so no wait can be
 			// parked on it; no wake needed.
 		case evSend:
+			b := &p.binds[cur]
 			var sc, delivered float64
-			if e.lt.Local {
-				sc, delivered = r.ports.TransmitLocal(e.lt, key)
+			if b.lt.Local {
+				sc, delivered = r.ports.TransmitLocal(b.lt, key)
 			} else {
 				f := 1.0
-				if e.draws {
+				if b.draws {
 					f = r.jit[r.ji]
 					r.ji++
 				}
-				sc, delivered = r.ports.Transmit(l, int(e.srcNIC), int(e.dstNIC), e.lt, key, f)
+				sc, delivered = r.ports.Transmit(l, int(e.srcNIC), int(e.dstNIC), b.lt, key, f)
 			}
 			r.reqAt[e.slot] = sc
 			r.pend[e.slot] = 0
@@ -236,7 +237,7 @@ func (r *Replayer) replayLane(l int) bool {
 					r.wake(int(p.slotOwner[ps]))
 				}
 			}
-			key += e.lt.SendOv
+			key += b.lt.SendOv
 			r.laneClock[rank] = key
 		}
 		if r.clk != nil {

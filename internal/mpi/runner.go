@@ -34,6 +34,11 @@ type Runner struct {
 	planScratch *planScratch
 	// Recycled across NewReplayer calls.
 	replayer *Replayer
+	// Recycled across Rebind calls (rebind.go): the rebound plan header,
+	// its grow-only binding buffer, and the pass's cursor.
+	rebound     *Plan
+	rebindBinds []planBind
+	rebindCur   rebindRank
 }
 
 // NewRunner builds a Runner with a fresh network from cfg.
@@ -148,6 +153,7 @@ func (r *Runner) run(nprocs int, fn func(*Proc) error, record bool) (Result, *Ca
 		p.clock = 0
 		p.seq = 0
 		p.echo = nil
+		p.rebind = nil
 		go runRank(p, fn)
 	}
 	res, err := s.loop()

@@ -563,11 +563,17 @@ func (s *scheduler) maybeReleaseBarrier() {
 // and keeping their cost perturbation-free keeps scheduler and replay
 // trivially consistent (the plan stores the same constant).
 func (s *scheduler) barrierCost() float64 {
-	rounds := s.opts.BarrierRounds
+	return barrierCostFor(s.opts, s.net.Config(), s.nprocs)
+}
+
+// barrierCostFor is the barrier-cost formula shared by the scheduler and
+// Runner.Rebind: a rebound plan must carry bit-for-bit the barrier cost a
+// capturing run on the same network and options would have recorded.
+func barrierCostFor(opts Options, cfg simnet.Config, nprocs int) float64 {
+	rounds := opts.BarrierRounds
 	if rounds <= 0 {
-		rounds = ceilLog2(s.nprocs)
+		rounds = ceilLog2(nprocs)
 	}
-	cfg := s.net.Config()
 	return float64(rounds) * (cfg.SendOverhead + cfg.Latency + cfg.RecvOverhead)
 }
 
