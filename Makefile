@@ -50,21 +50,31 @@ bench:
 # Regression gate: re-run the sweep benchmarks and compare against a
 # recorded baseline (default: the scheduler-engine record). Fails when
 # any benchmark's ns/op regresses by more than 20%, and — via the
-# -scaling pass over the same run — when any workers>1 line is more
-# than 50% slower than its workers=1 sibling. That anti-scaling guard
-# is generous on purpose: on a single-core box every worker count runs
-# the same clamped serial sweep and differs only by timer noise, while
-# the regression this gate exists for (workers=8 at 2.2x the workers=1
-# wall-clock) blows well past it. The plan-cache breakdown (scheduler
-# vs capture vs rebind per point) is gated against its own record, so a
-# rebind-path slowdown cannot hide inside the sweep aggregate.
+# -scaling pass over the same run — when the worker-scaling curve fails
+# either bound:
+#
+#   * SCALING_THRESHOLD (anti-regression): no workers>1 line may be more
+#     than 50% slower than its workers=1 sibling.
+#   * SCALING_MIN_SPEEDUP (speedup requirement): every workers=N line
+#     must reach min(SCALING_MIN_SPEEDUP, 0.8·min(N, cpus))× the
+#     workers=1 speed, with cpus read from the benchmark name's
+#     GOMAXPROCS suffix. On a multi-core box workers=8 must therefore be
+#     ≥2.0× faster than workers=1; on a single-core box — where every
+#     worker count runs the same clamped serial sweep — the requirement
+#     degrades to the 0.8× anti-regression floor, because no amount of
+#     scheduling can conjure parallel speedup out of one core.
+#
+# The plan-cache breakdown (scheduler vs capture vs rebind per point) is
+# gated against its own record, so a rebind-path slowdown cannot hide
+# inside the sweep aggregate.
 BASELINE ?= BENCH_sched.json
 PLANCACHE_BASELINE ?= BENCH_plancache.json
 SCALING_THRESHOLD ?= 0.5
+SCALING_MIN_SPEEDUP ?= 2.0
 benchdiff:
 	$(GO) test -bench=Sweep -benchmem -run='^$$' ./internal/experiment/ > .bench_diff.txt
 	$(GO) run ./cmd/benchjson -baseline $(BASELINE) < .bench_diff.txt
-	$(GO) run ./cmd/benchjson -scaling -threshold $(SCALING_THRESHOLD) < .bench_diff.txt
+	$(GO) run ./cmd/benchjson -scaling -threshold $(SCALING_THRESHOLD) -min-speedup $(SCALING_MIN_SPEEDUP) < .bench_diff.txt
 	@rm -f .bench_diff.txt
 	$(GO) test -bench=PlanCache -benchmem -run='^$$' ./internal/experiment/ > .bench_pc_diff.txt
 	$(GO) run ./cmd/benchjson -baseline $(PLANCACHE_BASELINE) < .bench_pc_diff.txt

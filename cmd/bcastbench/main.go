@@ -15,7 +15,8 @@
 //	           [-scaling 1,2,4,8] \
 //	           [-perturb SPEC] [-perturb-random ε] [-perturb-seed N] \
 //	           [-metrics metrics.json] \
-//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof] \
+//	           [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
 //
 // -np may exceed the physical cluster: the platform is then enlarged
 // synthetically (cluster.Profile.Scaled) with the calibrated link
@@ -39,8 +40,10 @@
 // generates one from an intensity in (0,1] and -perturb-seed. -v reports
 // the plan-template cache's work split (plans captured per structure
 // class vs grid points rebound from a cached template, plus any rebind
-// divergences) and how many measurements fell back from the replay
-// engine to the scheduler, and why.
+// divergences), the class-aware scheduler's shape (structure-class
+// groups, duplicate captures avoided by single-flight election, waits on
+// in-flight captures), and how many measurements fell back from the
+// replay engine to the scheduler, and why.
 //
 // -metrics writes a JSON observability artifact of the sweep — points
 // measured vs cached, per-engine repetition counts, fallback tallies,
@@ -49,6 +52,9 @@
 //
 // With -cpuprofile/-memprofile the tool records runtime/pprof profiles of
 // the sweep for `go tool pprof`; the heap profile is taken at exit.
+// -mutexprofile/-blockprofile additionally record contention and blocking
+// profiles (full sampling for the run's duration) — the profiles behind
+// the parallel-sweep scaling diagnosis in EXPERIMENTS.md.
 package main
 
 import (
@@ -168,11 +174,18 @@ func run(args []string, out io.Writer) (err error) {
 	cacheDir := fs.String("cache", "", "reuse measurements from this directory (created if missing)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex-contention profile of the sweep to this file")
+	blockProfile := fs.String("blockprofile", "", "write a blocking profile of the sweep to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	stopProfiles, err := profiling.StartWith(profiling.Config{
+		CPUPath:   *cpuProfile,
+		MemPath:   *memProfile,
+		MutexPath: *mutexProfile,
+		BlockPath: *blockProfile,
+	})
 	if err != nil {
 		return err
 	}
@@ -301,6 +314,14 @@ func run(args []string, out io.Writer) (err error) {
 		rebound := sw.Metrics.Counter("experiment_plan_rebinds_total").Value()
 		diverged := sw.Metrics.Counter(obs.Name("experiment_fallbacks_total", "reason", "rebind-divergence")).Value()
 		fmt.Fprintf(out, "plan templates: %d captured, %d points rebound, %d rebind divergences\n", captured, rebound, diverged)
+		classes := int64(sw.Metrics.Gauge("experiment_sweep_class_groups").Value())
+		dedup := sw.Metrics.Counter("experiment_sweep_capture_dedup_total").Value()
+		wait := sw.Metrics.Histogram("experiment_sweep_singleflight_wait_seconds")
+		line := fmt.Sprintf("class scheduling: %d class groups, %d duplicate captures avoided", classes, dedup)
+		if n := wait.Count(); n > 0 {
+			line += fmt.Sprintf(", %d single-flight waits (mean %.1f ms)", n, wait.Mean()*1e3)
+		}
+		fmt.Fprintln(out, line)
 		if counts := experiment.CountFallbacks(results); len(counts) == 0 {
 			fmt.Fprintln(out, "engine fallbacks: none")
 		} else {

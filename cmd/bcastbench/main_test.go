@@ -46,15 +46,18 @@ func TestProfileFlagsWriteFiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
+	mutex := filepath.Join(dir, "mutex.pprof")
+	block := filepath.Join(dir, "block.pprof")
 	err := run([]string{
 		"-np", "4", "-algs", "linear", "-min", "8192", "-max", "16384",
 		"-points", "2", "-workers", "1",
 		"-cpuprofile", cpu, "-memprofile", mem,
+		"-mutexprofile", mutex, "-blockprofile", block,
 	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range []string{cpu, mem} {
+	for _, path := range []string{cpu, mem, mutex, block} {
 		fi, err := os.Stat(path)
 		if err != nil {
 			t.Fatal(err)
@@ -71,6 +74,10 @@ func TestProfileFlagValidation(t *testing.T) {
 	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")
 	if err := run([]string{"-cpuprofile", bad}, io.Discard); err == nil {
 		t.Fatal("unwritable -cpuprofile path accepted")
+	}
+	bad = filepath.Join(t.TempDir(), "no", "such", "dir", "mutex.pprof")
+	if err := run([]string{"-mutexprofile", bad}, io.Discard); err == nil {
+		t.Fatal("unwritable -mutexprofile path accepted")
 	}
 }
 
@@ -140,6 +147,29 @@ func TestScalingFlagMetrics(t *testing.T) {
 		if !strings.Contains(string(blob), want) {
 			t.Errorf("metrics artifact missing %q", want)
 		}
+	}
+}
+
+// TestVerboseClassScheduling: -v reports the class-aware scheduler's
+// shape alongside the plan-template work split. A serial 2-size × 1-alg
+// grid has 2 structure classes (linear pins segs=1, but the two sizes
+// still share one class only for unsegmented algorithms — binomial
+// segments, so each size is its own class) and no duplicate captures.
+func TestVerboseClassScheduling(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-np", "4", "-algs", "binomial", "-min", "8192", "-max", "16384",
+		"-points", "2", "-workers", "1", "-v",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "class scheduling: 2 class groups, 0 duplicate captures avoided") {
+		t.Errorf("-v output missing the class-scheduling line:\n%s", got)
+	}
+	if !strings.Contains(got, "plan templates: 2 captured, 0 points rebound") {
+		t.Errorf("-v output missing the plan-template line:\n%s", got)
 	}
 }
 

@@ -29,6 +29,18 @@
 //
 //	go test -bench=Sweep -benchmem ./internal/experiment/ | benchjson -scaling -scaling-out BENCH_sweepscale.json
 //
+// -min-speedup raises the -scaling gate from an anti-regression guard to
+// a speedup requirement: every workers=N line (N > 1) must be at least S×
+// faster than its workers=1 baseline. The requirement is hardware-aware —
+// a worker can't speed anything up without a core to run on — so each
+// line's effective bar is min(S, 0.8·min(N, cpus)), with cpus taken from
+// the benchmark name's GOMAXPROCS suffix (BenchmarkSweep/workers=8-8 ran
+// on 8 cores). On an 8-core box -min-speedup 2.0 demands the full 2×; on
+// a single-core box the same flag degrades to the 0.8× anti-regression
+// bound, because demanding parallel speedup without parallel hardware
+// would only mean recording benchmarks on big machines and gating them on
+// small ones. The Makefile's benchdiff target sets SCALING_MIN_SPEEDUP.
+//
 // Benchmark lines keep their -cpu suffix (e.g. BenchmarkFoo-8) so runs
 // from machines with different core counts are not conflated. Non-bench
 // lines (PASS, ok, metric-only output) pass through untouched to stderr,
@@ -61,15 +73,20 @@ func main() {
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated ns/op regression (fraction) in -baseline and -scaling modes; negative disables the -scaling gate")
 	scalingMode := flag.Bool("scaling", false, "group /workers=N sub-benchmarks on stdin into per-benchmark scaling curves")
 	scalingOut := flag.String("scaling-out", "", "with -scaling, also record the curves as JSON to this file")
+	minSpeedup := flag.Float64("min-speedup", 0, "with -scaling, require each workers=N line to be this many times faster than workers=1, capped at 0.8×min(N, cpus) for the recording machine's core count; 0 disables")
 	flag.Parse()
 	var err error
 	switch {
 	case *baseline != "" && *scalingMode:
 		err = fmt.Errorf("-baseline and -scaling are mutually exclusive")
+	case *minSpeedup != 0 && !*scalingMode:
+		err = fmt.Errorf("-min-speedup requires -scaling")
+	case *minSpeedup < 0:
+		err = fmt.Errorf("-min-speedup %g must be positive", *minSpeedup)
 	case *baseline != "":
 		err = compare(os.Stdin, os.Stdout, os.Stderr, *baseline, *threshold)
 	case *scalingMode:
-		err = scaling(os.Stdin, os.Stdout, os.Stderr, *scalingOut, *threshold)
+		err = scaling(os.Stdin, os.Stdout, os.Stderr, *scalingOut, *threshold, *minSpeedup)
 	default:
 		err = run(os.Stdin, os.Stdout, os.Stderr)
 	}
@@ -175,6 +192,25 @@ type scalePoint struct {
 	// Speedup is ns/op of the workers=1 line over this line (>1 means
 	// this worker count is faster); 0 when the group has no workers=1.
 	Speedup float64 `json:"speedup,omitempty"`
+	// Cpus is the core count the benchmark ran with, from the name's
+	// GOMAXPROCS suffix; 0 when the name carries none. Recorded so a
+	// curve measured on one machine is gated correctly on another.
+	Cpus int `json:"cpus,omitempty"`
+}
+
+// cpuSuffix extracts the GOMAXPROCS core count from a benchmark group
+// name's trailing "-N" (go test appends it unless GOMAXPROCS is 1, which
+// prints no suffix — return 1 then, the count the suffix's absence means).
+func cpuSuffix(group string) int {
+	i := strings.LastIndexByte(group, '-')
+	if i < 0 || i == len(group)-1 {
+		return 1
+	}
+	n, err := strconv.Atoi(group[i+1:])
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
 }
 
 // splitWorkers decomposes a benchmark name of the form
@@ -203,8 +239,10 @@ func splitWorkers(name string) (group string, workers int, ok bool) {
 // scaling groups /workers=N sub-benchmarks into per-benchmark scaling
 // curves, prints them, optionally records them as JSON, and fails when a
 // worker count is slower than its group's workers=1 line beyond threshold
-// (negative threshold: report only).
-func scaling(in io.Reader, out, echo io.Writer, outFile string, threshold float64) error {
+// (negative threshold: report only). minSpeedup > 0 additionally requires
+// each workers=N line to reach min(minSpeedup, 0.8·min(N, cpus))× the
+// workers=1 speed — the hardware-aware speedup gate.
+func scaling(in io.Reader, out, echo io.Writer, outFile string, threshold, minSpeedup float64) error {
 	fresh, err := parse(in, echo)
 	if err != nil {
 		return err
@@ -218,6 +256,7 @@ func scaling(in io.Reader, out, echo io.Writer, outFile string, threshold float6
 		curves[group] = append(curves[group], scalePoint{
 			Workers: workers, NsPerOp: e.NsPerOp,
 			BytesPerOp: e.BytesPerOp, AllocsPerOp: e.AllocsPerOp,
+			Cpus: cpuSuffix(group),
 		})
 	}
 	if len(curves) == 0 {
@@ -252,6 +291,12 @@ func scaling(in io.Reader, out, echo io.Writer, outFile string, threshold float6
 				if threshold >= 0 && p.Workers > 1 && p.NsPerOp > base.NsPerOp*(1+threshold) {
 					slow = append(slow, fmt.Sprintf("%s/workers=%d (%.2fx slower)", g, p.Workers, p.NsPerOp/base.NsPerOp))
 				}
+				if minSpeedup > 0 && p.Workers > 1 {
+					if required := requiredSpeedup(minSpeedup, p.Workers, p.Cpus); p.Speedup < required {
+						slow = append(slow, fmt.Sprintf("%s/workers=%d (%.2fx, need ≥%.2fx on %d cpus)",
+							g, p.Workers, p.Speedup, required, p.Cpus))
+					}
+				}
 			}
 			fmt.Fprintf(w, "%s\t%d\t%.0f\t%s\t%s\n", g, p.Workers, p.NsPerOp, speed, bratio)
 		}
@@ -270,10 +315,27 @@ func scaling(in io.Reader, out, echo io.Writer, outFile string, threshold float6
 		}
 	}
 	if len(slow) > 0 {
-		return fmt.Errorf("worker counts slower than workers=1 beyond %.0f%%: %s",
-			threshold*100, strings.Join(slow, ", "))
+		return fmt.Errorf("worker counts failing the scaling gate: %s", strings.Join(slow, ", "))
 	}
 	return nil
+}
+
+// requiredSpeedup is the hardware-aware bar for one workers=N line: the
+// requested minimum, capped at 80% of the cores the line could actually
+// use (min(N, cpus)) — perfect scaling is unreachable, and on a 1-core
+// recording the cap degrades the gate to a 0.8× anti-regression bound.
+func requiredSpeedup(minSpeedup float64, workers, cpus int) float64 {
+	if cpus < 1 {
+		cpus = 1
+	}
+	usable := workers
+	if cpus < usable {
+		usable = cpus
+	}
+	if bar := 0.8 * float64(usable); bar < minSpeedup {
+		return bar
+	}
+	return minSpeedup
 }
 
 func readBaseline(path string) (map[string]entry, error) {

@@ -207,7 +207,7 @@ func TestSplitWorkers(t *testing.T) {
 func TestScalingEmitsCurvesAndArtifact(t *testing.T) {
 	var out, echo bytes.Buffer
 	artifact := filepath.Join(t.TempDir(), "scale.json")
-	if err := scaling(strings.NewReader(scalingSample), &out, &echo, artifact, 0.25); err != nil {
+	if err := scaling(strings.NewReader(scalingSample), &out, &echo, artifact, 0.25, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "3.80x") {
@@ -238,13 +238,13 @@ func TestScalingGateFailsOnAntiScaling(t *testing.T) {
 BenchmarkSweep/workers=8  1  1100000000 ns/op  203000000 B/op  100 allocs/op
 `
 	var out, echo bytes.Buffer
-	err := scaling(strings.NewReader(anti), &out, &echo, "", 0.25)
+	err := scaling(strings.NewReader(anti), &out, &echo, "", 0.25, 0)
 	if err == nil || !strings.Contains(err.Error(), "workers=8") {
 		t.Fatalf("anti-scaling input passed the gate (err=%v)", err)
 	}
 	// A negative threshold disables the gate but keeps the report.
 	out.Reset()
-	if err := scaling(strings.NewReader(anti), &out, &echo, "", -1); err != nil {
+	if err := scaling(strings.NewReader(anti), &out, &echo, "", -1, 0); err != nil {
 		t.Fatalf("gate not disabled by negative threshold: %v", err)
 	}
 	if !strings.Contains(out.String(), "0.45x") {
@@ -252,10 +252,116 @@ BenchmarkSweep/workers=8  1  1100000000 ns/op  203000000 B/op  100 allocs/op
 	}
 }
 
+func TestCpuSuffix(t *testing.T) {
+	cases := []struct {
+		group string
+		cpus  int
+	}{
+		{"BenchmarkSweep-8", 8},
+		{"BenchmarkSweep-16", 16},
+		{"BenchmarkSweep", 1}, // GOMAXPROCS=1 prints no suffix
+		{"BenchmarkSweep-", 1},
+		{"Benchmark-Odd-Name", 1},
+	}
+	for _, tc := range cases {
+		if got := cpuSuffix(tc.group); got != tc.cpus {
+			t.Errorf("cpuSuffix(%q) = %d, want %d", tc.group, got, tc.cpus)
+		}
+	}
+}
+
+func TestRequiredSpeedup(t *testing.T) {
+	cases := []struct {
+		min           float64
+		workers, cpus int
+		want          float64
+	}{
+		{2.0, 8, 8, 2.0}, // plenty of cores: full requirement
+		{2.0, 8, 1, 0.8}, // 1-core recording: anti-regression bound
+		{2.0, 8, 2, 1.6}, // 2 cores: 0.8 × 2
+		{2.0, 2, 8, 1.6}, // 2 workers can use at most 2 cores
+		{1.2, 8, 2, 1.2}, // requirement below the hardware cap
+		{2.0, 8, 0, 0.8}, // unknown cpus treated as 1
+	}
+	for _, tc := range cases {
+		if got := requiredSpeedup(tc.min, tc.workers, tc.cpus); got != tc.want {
+			t.Errorf("requiredSpeedup(%v, %d, %d) = %v, want %v", tc.min, tc.workers, tc.cpus, got, tc.want)
+		}
+	}
+}
+
+// TestScalingMinSpeedupGate: with -min-speedup, a flat curve recorded on
+// a multi-core machine fails (it should have scaled and didn't), while
+// the same flat curve recorded on one core passes — no hardware, no
+// speedup requirement — and a genuinely scaling curve passes everywhere.
+func TestScalingMinSpeedupGate(t *testing.T) {
+	flat8core := `BenchmarkSweep/workers=1-8  1  500000000 ns/op
+BenchmarkSweep/workers=8-8  1  490000000 ns/op
+`
+	var out, echo bytes.Buffer
+	err := scaling(strings.NewReader(flat8core), &out, &echo, "", 0.25, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "workers=8") {
+		t.Fatalf("flat curve on 8 cpus passed -min-speedup 2.0 (err=%v)", err)
+	}
+
+	flat1core := `BenchmarkSweep/workers=1  1  500000000 ns/op
+BenchmarkSweep/workers=8  1  490000000 ns/op
+`
+	out.Reset()
+	if err := scaling(strings.NewReader(flat1core), &out, &echo, "", 0.25, 2.0); err != nil {
+		t.Fatalf("flat curve on 1 cpu failed the hardware-aware gate: %v", err)
+	}
+
+	scaling8core := `BenchmarkSweep/workers=1-8  1  800000000 ns/op
+BenchmarkSweep/workers=8-8  1  200000000 ns/op
+`
+	out.Reset()
+	if err := scaling(strings.NewReader(scaling8core), &out, &echo, "", 0.25, 2.0); err != nil {
+		t.Fatalf("4x-scaling curve failed -min-speedup 2.0: %v", err)
+	}
+
+	// But a 1-core recording that actually regressed still fails: the
+	// cap is 0.8×, not a free pass.
+	regressed1core := `BenchmarkSweep/workers=1  1  500000000 ns/op
+BenchmarkSweep/workers=8  1  700000000 ns/op
+`
+	out.Reset()
+	err = scaling(strings.NewReader(regressed1core), &out, &echo, "", -1, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "workers=8") {
+		t.Fatalf("0.71x regression on 1 cpu passed the 0.8x floor (err=%v)", err)
+	}
+}
+
+// TestScalingArtifactRecordsCpus: the JSON artifact carries the core
+// count so a curve recorded on one machine gates correctly on another.
+func TestScalingArtifactRecordsCpus(t *testing.T) {
+	sample := `BenchmarkSweep/workers=1-8  1  800000000 ns/op
+BenchmarkSweep/workers=8-8  1  200000000 ns/op
+`
+	var out, echo bytes.Buffer
+	artifact := filepath.Join(t.TempDir(), "scale.json")
+	if err := scaling(strings.NewReader(sample), &out, &echo, artifact, 0.25, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var curves map[string][]scalePoint
+	if err := json.Unmarshal(data, &curves); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range curves["BenchmarkSweep-8"] {
+		if p.Cpus != 8 {
+			t.Errorf("workers=%d recorded cpus=%d, want 8", p.Workers, p.Cpus)
+		}
+	}
+}
+
 func TestScalingRejectsInputWithoutWorkerBenchmarks(t *testing.T) {
 	var out, echo bytes.Buffer
 	noWorkers := "BenchmarkSchedulerPingPong-8  2066  573329 ns/op  64 B/op  3 allocs/op\n"
-	if err := scaling(strings.NewReader(noWorkers), &out, &echo, "", 0.25); err == nil {
+	if err := scaling(strings.NewReader(noWorkers), &out, &echo, "", 0.25, 0); err == nil {
 		t.Fatal("input without a scaling group accepted")
 	}
 }

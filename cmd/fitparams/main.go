@@ -13,7 +13,8 @@
 //	fitparams [-cluster grisou] [-procs 40] [-save grisou.json] \
 //	          [-workers 0] [-engine auto] [-cache DIR] \
 //	          [-metrics metrics.json] \
-//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof] \
+//	          [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
 //
 // -engine selects the measurement execution engine (auto, scheduler,
 // replay); all three produce bit-identical calibrations, with auto
@@ -26,6 +27,8 @@
 //
 // With -cpuprofile/-memprofile the tool records runtime/pprof profiles of
 // the calibration for `go tool pprof`; the heap profile is taken at exit.
+// -mutexprofile/-blockprofile additionally record contention and blocking
+// profiles of the parallel sweep (full sampling for the run's duration).
 package main
 
 import (
@@ -62,11 +65,18 @@ func run(args []string, out io.Writer) (err error) {
 	cacheDir := fs.String("cache", "", "reuse measurements from this directory (created if missing)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the calibration to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex-contention profile of the calibration to this file")
+	blockProfile := fs.String("blockprofile", "", "write a blocking profile of the calibration to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	stopProfiles, err := profiling.StartWith(profiling.Config{
+		CPUPath:   *cpuProfile,
+		MemPath:   *memProfile,
+		MutexPath: *mutexProfile,
+		BlockPath: *blockProfile,
+	})
 	if err != nil {
 		return err
 	}

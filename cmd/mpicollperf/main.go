@@ -28,7 +28,9 @@
 // observability registry attached (see internal/obs) and emits the
 // collected counters, gauges, and span histograms — sweep points measured
 // vs cached, per-engine repetition counts, simulator run/transfer totals,
-// and per-algorithm fit statistics. The calibration runs twice against a
+// class-aware scheduler statistics (structure-class groups, duplicate
+// captures avoided, single-flight wait times), and per-algorithm fit
+// statistics. The calibration runs twice against a
 // shared measurement cache so the cache-hit counters are exercised too.
 // The artifact prints as a human-readable table; -csv adds the JSON
 // snapshot, and -out DIR writes it to DIR/metrics_<cluster>.json.

@@ -243,19 +243,29 @@ func TestGoldenSweepMetricsInvariance(t *testing.T) {
 					}
 				} else {
 					// Every point is either captured (publishing a template)
-					// or rebound; racing workers may duplicate a class's
-					// capture but can never miss one, so the counters must
-					// account for the whole grid with at most per-class
-					// captures plus duplicates.
+					// or rebound, and the class-aware scheduler's single-flight
+					// election makes capture exactly once-per-class at EVERY
+					// worker count — duplicated captures were the parallel
+					// sweep's defect, so any duplicate here is a regression.
 					classes := int64(goldenGridClasses(grid))
 					if tpls+rebinds != int64(len(grid)) {
 						t.Errorf("%d templates + %d rebinds != %d grid points", tpls, rebinds, len(grid))
 					}
-					if tpls < classes {
-						t.Errorf("%d templates for %d structure classes", tpls, classes)
+					if tpls != classes {
+						t.Errorf("workers=%d sweep captured %d times for %d structure classes — capture is not once-per-class", workers, tpls, classes)
 					}
-					if workers == 1 && tpls != classes {
-						t.Errorf("serial sweep captured %d times for %d classes — capture is not once-per-class", tpls, classes)
+					if groups := reg.Gauge("experiment_sweep_class_groups").Value(); groups != float64(classes) {
+						t.Errorf("experiment_sweep_class_groups = %v, want %d", groups, classes)
+					}
+					dedup := reg.Counter("experiment_sweep_capture_dedup_total").Value()
+					if dedup > rebinds {
+						t.Errorf("experiment_sweep_capture_dedup_total = %d > %d rebinds", dedup, rebinds)
+					}
+					if workers == 1 && dedup != 0 {
+						t.Errorf("serial sweep deduplicated %d captures — nothing runs concurrently at workers=1", dedup)
+					}
+					if waits := reg.Histogram("experiment_sweep_singleflight_wait_seconds").Count(); waits != dedup {
+						t.Errorf("%d single-flight waits recorded for %d deduplicated captures", waits, dedup)
 					}
 					if n := reg.Counter(obs.Name("experiment_fallbacks_total", "reason", "rebind-divergence")).Value(); n != 0 {
 						t.Errorf("%d unexplained rebind-divergence fallbacks", n)

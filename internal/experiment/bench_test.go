@@ -12,8 +12,13 @@ import (
 	"mpicollperf/internal/stats"
 )
 
-// benchGrid is a full six-algorithm Grisou sweep at a reduced node count
-// and repetition budget, so one serial pass stays in the seconds range.
+// benchGrid is a full six-algorithm Grisou sweep at two process counts
+// (16 and 32 on the 32-node profile) with a reduced repetition budget:
+// 72 points over ~80 structure classes, enough work per sweep that the
+// worker-scaling curve measures scheduling rather than per-sweep setup
+// noise, while one serial pass stays in the seconds range. For a stable
+// curve, run with -benchtime=3x or more (one timed sweep per iteration);
+// `make bench` records it into BENCH_sweepscale.json.
 func benchGrid(b *testing.B) (cluster.Profile, []Point) {
 	b.Helper()
 	pr, err := cluster.Grisou().WithNodes(32)
@@ -21,7 +26,8 @@ func benchGrid(b *testing.B) (cluster.Profile, []Point) {
 		b.Fatal(err)
 	}
 	sizes := stats.LogSpaceBytes(8192, 4<<20, 6)
-	return pr, BcastGrid(pr.Nodes, coll.BcastAlgorithms(), sizes, pr.SegmentSize)
+	grid := BcastGrid(16, coll.BcastAlgorithms(), sizes, pr.SegmentSize)
+	return pr, append(grid, BcastGrid(pr.Nodes, coll.BcastAlgorithms(), sizes, pr.SegmentSize)...)
 }
 
 // benchSweepSettings honours the SWEEP_ENGINE environment variable

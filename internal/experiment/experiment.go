@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"time"
 
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
@@ -185,11 +186,20 @@ type Op func(p *mpi.Proc)
 // (mpi.Options.Metrics). Labelled names are precomputed so the hot path
 // never rebuilds them.
 var (
-	mRepsReplay       = obs.Name("experiment_reps_total", "engine", "replay")
-	mRepsScheduler    = obs.Name("experiment_reps_total", "engine", "scheduler")
-	mReplayTransfers  = "experiment_replay_transfers_total"
-	mPlanTemplates    = "experiment_plan_templates_total"
-	mPlanRebinds      = "experiment_plan_rebinds_total"
+	mRepsReplay      = obs.Name("experiment_reps_total", "engine", "replay")
+	mRepsScheduler   = obs.Name("experiment_reps_total", "engine", "scheduler")
+	mReplayTransfers = "experiment_replay_transfers_total"
+	mPlanTemplates   = "experiment_plan_templates_total"
+	mPlanRebinds     = "experiment_plan_rebinds_total"
+	// mCaptureDedup counts captures avoided by single-flight election: a
+	// worker that blocked on another worker's in-flight capture of the
+	// same structure class and came back holding the published template.
+	// Without the single-flight layer each of those would have been a
+	// duplicate scheduler capture (≈3.3× the rebind cost it pays instead).
+	mCaptureDedup = "experiment_sweep_capture_dedup_total"
+	// mSingleFlightWait times how long blocked workers waited on an
+	// in-flight capture (obs.Registry.Span naming: _seconds histogram).
+	mSingleFlightWait = "experiment_sweep_singleflight_wait_seconds"
 	mFallbacksByWhy   = map[FallbackReason]string{}
 	fallbackReasonSet = []FallbackReason{
 		FallbackPayload, FallbackMarkInOp, FallbackPlan,
@@ -262,8 +272,29 @@ func measureOnClass(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op, c
 	}
 	why := FallbackNone
 	if r.Network().ReplayInvariant() {
+		var release func() // non-nil iff this call leads its class's capture flight
 		if cls.enabled() {
-			if tpl := cls.store.Get(cls.key); tpl != nil {
+			// Single-flight template resolution: either the class's
+			// template is published (rebind it), or this call is elected
+			// its capture leader (fall through to the capture path, whose
+			// Put completes the flight), or another worker is capturing it
+			// right now (block until it publishes, then rebind). release
+			// is non-nil exactly for the leader; deferring it guarantees
+			// the waiters are unblocked on every exit path — it is a no-op
+			// once the template is published.
+			var tpl *mpi.Plan
+			var waited time.Duration
+			tpl, release, waited = cls.store.Acquire(cls.key)
+			if release != nil {
+				defer release()
+			}
+			if waited > 0 {
+				m.Histogram(mSingleFlightWait).Observe(waited.Seconds())
+				if tpl != nil {
+					m.Counter(mCaptureDedup).Inc()
+				}
+			}
+			if tpl != nil {
 				meas, rerr := measureRebound(r, nprocs, set, mode, op, tpl)
 				if rerr == nil {
 					m.Counter(mPlanRebinds).Inc()
@@ -287,6 +318,12 @@ func measureOnClass(r *mpi.Runner, nprocs int, set Settings, mode Mode, op Op, c
 			return meas, nil
 		}
 		why = reason
+		if release != nil {
+			// The class cannot be templated (payload, marks, plan shape):
+			// abandon the flight now, before the slow scheduler rerun
+			// below, so same-class waiters don't stall behind it.
+			release()
+		}
 	} else {
 		// A time-windowed perturbation makes the effective timing depend on
 		// virtual time; don't even capture.
@@ -780,7 +817,7 @@ func measureBcastThenGatherOn(r *mpi.Runner, pr cluster.Profile, nprocs int, alg
 	}
 	cls := planClass{}
 	if tmpl != nil {
-		cls = planClass{key: coll.BcastClassKey(alg, nprocs, m, segSize) + "+gatherlinear", store: tmpl}
+		cls = planClass{key: coll.BcastClassKey(alg, nprocs, m, segSize) + gatherClassSuffix, store: tmpl}
 	}
 	return measureOnClass(r, nprocs, set, RootTime, func(p *mpi.Proc) {
 		coll.Bcast(p, alg, 0, coll.Synthetic(m), segSize)

@@ -66,6 +66,26 @@ func (pt Point) String() string {
 	return s
 }
 
+// gatherClassSuffix distinguishes the bcast+gather experiment's structure
+// class from the plain broadcast's: the trailing linear gather's
+// structure is a function of the communicator size alone (its per-rank
+// bytes are harvested by the rebind), so the suffix alone suffices.
+const gatherClassSuffix = "+gatherlinear"
+
+// classKey is the point's structure-class key — exactly the key the
+// measure* functions register the point's plan template under, so the
+// sweep scheduler can group the grid by capture unit without running
+// anything. Unknown kinds have no class ("") and are never grouped.
+func (pt Point) classKey() string {
+	switch pt.Kind {
+	case PointBcast:
+		return coll.BcastClassKey(pt.Alg, pt.Procs, pt.MsgBytes, pt.SegSize)
+	case PointBcastThenGather:
+		return coll.BcastClassKey(pt.Alg, pt.Procs, pt.MsgBytes, pt.SegSize) + gatherClassSuffix
+	}
+	return ""
+}
+
 // Result pairs a grid point with its measurement.
 type Result struct {
 	// Point is the grid point the measurement belongs to.
@@ -243,7 +263,46 @@ func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
 	if s.DisableTemplates {
 		tmpls = nil
 	}
+
+	// Class-aware scheduling: group the grid by structure class so each
+	// class's expensive template capture (≈3.3× a rebind) runs exactly
+	// once, as early as possible, and never twice concurrently. leaders
+	// holds the grid index of each class's first point in grid order —
+	// the exact points a serial templated sweep would capture — and rest
+	// holds everything else (later points of known classes, plus any
+	// class-less points). Workers drain leaders one point at a time (one
+	// claim = one capture), then fan out over rest in contiguous chunks;
+	// a worker that reaches a class whose capture is still in flight
+	// blocks briefly on the template future inside the measurement
+	// (mpi.TemplateStore.Acquire) instead of duplicating the capture.
+	// Untemplated sweeps skip the grouping: leaders stays empty and rest
+	// is the whole grid in order, the plain chunked distribution.
+	var leaders, rest []int
+	if tmpls != nil {
+		seen := make(map[string]struct{}, len(points))
+		rest = make([]int, 0, len(points))
+		for i, pt := range points {
+			key := pt.classKey()
+			if key == "" {
+				rest = append(rest, i)
+				continue
+			}
+			if _, ok := seen[key]; ok {
+				rest = append(rest, i)
+			} else {
+				seen[key] = struct{}{}
+				leaders = append(leaders, i)
+			}
+		}
+	} else {
+		rest = make([]int, len(points))
+		for i := range rest {
+			rest[i] = i
+		}
+	}
+
 	s.Metrics.Gauge("sweep_workers").Set(float64(workers))
+	s.Metrics.Gauge("experiment_sweep_class_groups").Set(float64(len(leaders)))
 	pending := s.Metrics.Gauge("sweep_points_pending")
 	pending.Set(float64(len(points)))
 	chunks := s.Metrics.Counter("sweep_chunks_total")
@@ -259,13 +318,14 @@ func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
 	defer cancel()
 
 	var (
-		results  = make([]Result, len(points))
-		next     atomic.Int64 // cursor: index of the first unclaimed point
-		chunk    = int64(sweepChunk(len(points), workers))
-		wg       sync.WaitGroup
-		mu       sync.Mutex // guards firstErr, done, and serialises Progress
-		firstErr error
-		done     int
+		results    = make([]Result, len(points))
+		nextLeader atomic.Int64 // cursor over leaders: one claim = one capture
+		next       atomic.Int64 // cursor: index of the first unclaimed rest entry
+		chunk      = int64(sweepChunk(len(rest), workers))
+		wg         sync.WaitGroup
+		mu         sync.Mutex // guards firstErr, done, and serialises Progress
+		firstErr   error
+		done       int
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -304,34 +364,57 @@ func (s Sweep) Run(ctx context.Context, points []Point) ([]Result, error) {
 				}
 				return runner, err
 			}
+			// work measures grid point i and records its result. results
+			// indices are disjoint across workers, so the slice needs no
+			// lock — the WaitGroup publishes the writes to Run's return.
+			// Only Progress (serialised by contract) takes the mutex.
+			work := func(i int) bool {
+				r, err := s.measure(points[i], acquire, tmpls)
+				if err != nil {
+					fail(fmt.Errorf("sweep point %d (%v): %w", i, points[i], err))
+					return false
+				}
+				results[i] = r
+				if s.Progress != nil {
+					mu.Lock()
+					done++
+					s.Progress(done, len(points), r)
+					mu.Unlock()
+				}
+				pending.Add(-1)
+				return true
+			}
+			// Phase 1: capture leaders, one class per claim.
 			for {
-				// Claim the next contiguous chunk of grid points.
-				end := next.Add(chunk)
-				start := end - chunk
-				if start >= int64(len(points)) {
+				li := nextLeader.Add(1) - 1
+				if li >= int64(len(leaders)) {
+					break
+				}
+				if ctx.Err() != nil {
 					return
 				}
-				if end > int64(len(points)) {
-					end = int64(len(points))
+				if !work(leaders[li]) {
+					return
+				}
+			}
+			// Phase 2: fan the remaining points out in contiguous chunks.
+			for {
+				end := next.Add(chunk)
+				start := end - chunk
+				if start >= int64(len(rest)) {
+					return
+				}
+				if end > int64(len(rest)) {
+					end = int64(len(rest))
 				}
 				chunks.Inc()
 				for i := start; i < end; i++ {
 					if ctx.Err() != nil {
 						return
 					}
-					r, err := s.measure(points[i], acquire, tmpls)
-					if err != nil {
-						fail(fmt.Errorf("sweep point %d (%v): %w", i, points[i], err))
+					if !work(rest[i]) {
 						return
 					}
-					mu.Lock()
-					results[i] = r
-					done++
-					if s.Progress != nil {
-						s.Progress(done, len(points), r)
-					}
-					mu.Unlock()
-					pending.Add(-1)
 				}
 			}
 		}()

@@ -2,7 +2,7 @@ package mpi
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"mpicollperf/internal/obs"
 )
@@ -29,10 +29,13 @@ type RunnerPool struct {
 	// releases it. The free list is LIFO so the most recently used — and
 	// therefore warmest — Runner is handed out first, and a lone borrower
 	// keeps hitting the same Runner instead of round-robining the pool
-	// into existence.
+	// into existence. It is a lock-free Treiber stack: workers returning
+	// Runners between grid points pop and push with a single CAS instead
+	// of serialising on a pool mutex. Each Put pushes a fresh node, never
+	// a recycled one, so a pop CAS can't be fooled by a head that was
+	// popped and re-pushed in between (the classic ABA hazard).
 	sem     chan struct{}
-	mu      sync.Mutex
-	free    []*Runner
+	free    atomic.Pointer[freeNode]
 	factory func() (*Runner, error)
 	// tmpl is the pool's plan-template store: borrowers of the same pool
 	// measure on the same platform, so structure-class templates captured
@@ -42,6 +45,12 @@ type RunnerPool struct {
 
 	created *obs.Counter
 	inUse   *obs.Gauge
+}
+
+// freeNode is one Treiber-stack cell of the pool's free list.
+type freeNode struct {
+	r    *Runner
+	next *freeNode
 }
 
 // NewRunnerPool builds a pool of at most capacity Runners, constructed on
@@ -58,7 +67,6 @@ func NewRunnerPool(capacity int, factory func() (*Runner, error), metrics *obs.R
 	}
 	p := &RunnerPool{
 		sem:     make(chan struct{}, capacity),
-		free:    make([]*Runner, 0, capacity),
 		factory: factory,
 		tmpl:    NewTemplateStore(),
 		created: metrics.Counter("mpi_runner_pool_created_total"),
@@ -84,14 +92,17 @@ func (p *RunnerPool) Templates() *TemplateStore { return p.tmpl }
 // is. The borrower owns the Runner exclusively until Put.
 func (p *RunnerPool) Get() (*Runner, error) {
 	<-p.sem
-	p.mu.Lock()
 	var r *Runner
-	if n := len(p.free); n > 0 {
-		r = p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
+	for {
+		head := p.free.Load()
+		if head == nil {
+			break
+		}
+		if p.free.CompareAndSwap(head, head.next) {
+			r = head.r
+			break
+		}
 	}
-	p.mu.Unlock()
 	if r == nil {
 		var err error
 		if r, err = p.factory(); err != nil {
@@ -113,8 +124,13 @@ func (p *RunnerPool) Put(r *Runner) {
 		return
 	}
 	p.inUse.Add(-1)
-	p.mu.Lock()
-	p.free = append(p.free, r)
-	p.mu.Unlock()
+	n := &freeNode{r: r}
+	for {
+		head := p.free.Load()
+		n.next = head
+		if p.free.CompareAndSwap(head, n) {
+			break
+		}
+	}
 	p.sem <- struct{}{}
 }

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mpicollperf/internal/simnet"
 )
@@ -427,5 +429,110 @@ func TestTemplateStoreConcurrent(t *testing.T) {
 	}
 	if store.Get("absent") != nil {
 		t.Fatal("absent key returned a template")
+	}
+}
+
+// TestTemplateStoreSingleFlight: many goroutines Acquire one class at
+// once; exactly one is elected leader (non-nil release), and once it
+// publishes, every waiter unblocks with the published plan — nobody is
+// told to capture a second time. Meaningful under -race.
+func TestTemplateStoreSingleFlight(t *testing.T) {
+	const nprocs = 4
+	_, plan, _ := captureSized(t, replayTestConfig(nprocs), nprocs, 8192, 256)
+	store := NewTemplateStore()
+	const workers = 16
+	var (
+		start   = make(chan struct{})
+		leaders atomic.Int64
+		got     [workers]*Plan
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			p, release, _ := store.Acquire("class")
+			if release != nil {
+				leaders.Add(1)
+				store.Put("class", plan)
+				release()
+				p = store.Get("class")
+			}
+			got[w] = p
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	if n := leaders.Load(); n != 1 {
+		t.Fatalf("%d leaders elected for one class, want exactly 1", n)
+	}
+	published := store.Get("class")
+	if published == nil || !published.EquivalentTo(plan) {
+		t.Fatal("published template missing or diverged")
+	}
+	for w, p := range got {
+		if p != published {
+			t.Fatalf("worker %d got plan %p, want the shared published template %p", w, p, published)
+		}
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store holds %d templates, want 1", store.Len())
+	}
+	// A later Acquire of the published class never blocks or leads.
+	p, release, waited := store.Acquire("class")
+	if p != published || release != nil || waited != 0 {
+		t.Fatal("Acquire of a published class did not return it immediately")
+	}
+}
+
+// TestTemplateStoreAbandon: a leader that releases without publishing
+// unblocks its waiters empty-handed and forgets the flight, so the next
+// Acquire elects a fresh leader. release is idempotent and, after a Put,
+// a no-op — it can never take down a published template.
+func TestTemplateStoreAbandon(t *testing.T) {
+	const nprocs = 4
+	_, plan, _ := captureSized(t, replayTestConfig(nprocs), nprocs, 8192, 256)
+	store := NewTemplateStore()
+
+	_, release, _ := store.Acquire("class")
+	if release == nil {
+		t.Fatal("first Acquire was not elected leader")
+	}
+	waiterPlan := make(chan *Plan)
+	go func() {
+		p, rel, _ := store.Acquire("class")
+		if rel != nil {
+			t.Error("waiter elected leader while a flight was pending")
+		}
+		waiterPlan <- p
+	}()
+	// The waiter parks on the flight; abandon must wake it with nil.
+	// (A brief sleep makes the park likely but the test is correct
+	// without it — abandon wakes waiters whenever they arrive.)
+	time.Sleep(time.Millisecond)
+	release()
+	if p := <-waiterPlan; p != nil {
+		t.Fatalf("abandoned flight delivered plan %p, want nil", p)
+	}
+	release() // idempotent
+	if store.Len() != 0 {
+		t.Fatalf("store holds %d templates after an abandoned flight, want 0", store.Len())
+	}
+
+	// The class is forgotten: a fresh leader is elected and can publish.
+	_, release2, _ := store.Acquire("class")
+	if release2 == nil {
+		t.Fatal("no new leader elected after an abandoned flight")
+	}
+	store.Put("class", plan)
+	release2() // after Put: no-op
+	if got := store.Get("class"); got == nil || !got.EquivalentTo(plan) {
+		t.Fatal("template missing after publish; release after Put must not remove it")
+	}
+	// And the first flight's stale release can't touch the new state.
+	release()
+	if store.Get("class") == nil {
+		t.Fatal("stale release from an earlier flight removed the published template")
 	}
 }

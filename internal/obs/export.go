@@ -50,40 +50,28 @@ type Snapshot struct {
 
 // Snapshot captures the registry's current state. A nil registry yields
 // an empty snapshot. Concurrent updates during the snapshot land in
-// either the snapshot or the next one; each individual metric is read
-// consistently.
+// either the snapshot or the next one; every field is read atomically,
+// though a histogram snapshotted mid-Observe may show that one in-flight
+// observation in its bucket row but not yet in Count/Sum (or vice
+// versa). Quiesced registries — how every exporter in this repository is
+// used — snapshot exactly.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil {
 		return s
 	}
-	r.mu.Lock()
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		counters[k] = v
-	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
-		gauges[k] = v
-	}
-	hists := make(map[string]*Histogram, len(r.hists))
-	for k, v := range r.hists {
-		hists[k] = v
-	}
-	r.mu.Unlock()
-
-	s.Counters = make([]CounterSnapshot, 0, len(counters))
-	for name, c := range counters {
-		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
-	}
-	s.Gauges = make([]GaugeSnapshot, 0, len(gauges))
-	for name, g := range gauges {
-		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.Value()})
-	}
-	s.Histograms = make([]HistogramSnapshot, 0, len(hists))
-	for name, h := range hists {
-		s.Histograms = append(s.Histograms, h.snapshot(name))
-	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: k.(string), Value: v.(*Counter).Value()})
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: k.(string), Value: v.(*Gauge).Value()})
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		s.Histograms = append(s.Histograms, v.(*Histogram).snapshot(k.(string)))
+		return true
+	})
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
@@ -94,13 +82,11 @@ func (r *Registry) Snapshot() Snapshot {
 // trailing buckets that hold every observation already (the full default
 // bound grid would bury the signal in 19 rows per histogram).
 func (h *Histogram) snapshot(name string) HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	hs := HistogramSnapshot{Name: name, Count: h.n, Sum: h.sum}
+	hs := HistogramSnapshot{Name: name, Count: h.Count(), Sum: h.Sum()}
 	var cum int64
 	buckets := make([]Bucket, 0, len(h.bounds))
 	for i, ub := range h.bounds {
-		cum += h.counts[i]
+		cum += h.counts[i].Load()
 		buckets = append(buckets, Bucket{UpperBound: ub, Count: cum})
 	}
 	// Trim the saturated tail: keep one bucket that already covers Count.

@@ -33,20 +33,20 @@ import (
 // Registry holds named metrics. The zero value is not usable; build one
 // with NewRegistry. A nil *Registry is valid everywhere and records
 // nothing.
+//
+// Lookups are lock-free after a metric's first use (sync.Map read path):
+// sweep workers resolving handles by name on every grid point share the
+// registry without serialising on a registry-wide mutex, which the mutex
+// profile showed as a contention source at high worker counts.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters sync.Map // string -> *Counter
+	gauges   sync.Map // string -> *Gauge
+	hists    sync.Map // string -> *Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
-	}
+	return &Registry{}
 }
 
 // Counter returns the named counter, creating it on first use. A nil
@@ -55,14 +55,11 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.counters[name]
-	if c == nil {
-		c = &Counter{}
-		r.counters[name] = c
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
 	}
-	return c
+	v, _ := r.counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
 }
 
 // Gauge returns the named gauge, creating it on first use. A nil registry
@@ -71,14 +68,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g := r.gauges[name]
-	if g == nil {
-		g = &Gauge{}
-		r.gauges[name] = g
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
 	}
-	return g
+	v, _ := r.gauges.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
 }
 
 // Histogram returns the named histogram, creating it on first use with
@@ -89,14 +83,11 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.hists[name]
-	if h == nil {
-		h = newHistogram()
-		r.hists[name] = h
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
 	}
-	return h
+	v, _ := r.hists.LoadOrStore(name, newHistogram())
+	return v.(*Histogram)
 }
 
 // Counter is a monotonically increasing int64 metric.
@@ -169,17 +160,22 @@ var histBounds = func() []float64 {
 
 // Histogram is a fixed-bucket distribution metric: per-bucket counts plus
 // exact count and sum, so exporters can report both the shape and the
-// mean. Buckets are allocated at creation; Observe never allocates.
+// mean. Buckets are allocated at creation; Observe never allocates and
+// never locks — every field updates atomically (the sum through a CAS
+// loop, like Gauge.Add), so concurrent sweep workers observing into one
+// histogram never serialise. The trade is snapshot granularity: a
+// snapshot taken mid-Observe can see the bucket without the sum (or vice
+// versa) for that one in-flight observation; quiesced reads — every
+// exporter use in this repository — are exact.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // upper bounds, ascending; values above the last land in the overflow count
-	counts []int64   // len(bounds)+1, last is the overflow bucket
-	n      int64
-	sum    float64
+	bounds  []float64 // upper bounds, ascending; values above the last land in the overflow count
+	counts  []atomic.Int64 // len(bounds)+1, last is the overflow bucket
+	n       atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
 }
 
 func newHistogram() *Histogram {
-	return &Histogram{bounds: histBounds, counts: make([]int64, len(histBounds)+1)}
+	return &Histogram{bounds: histBounds, counts: make([]atomic.Int64, len(histBounds)+1)}
 }
 
 // Observe records one value.
@@ -187,12 +183,16 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	h.mu.Lock()
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.counts[i]++
-	h.n++
-	h.sum += v
-	h.mu.Unlock()
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Count returns the number of observations (0 on a nil handle).
@@ -200,9 +200,7 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.n
+	return h.n.Load()
 }
 
 // Sum returns the sum of all observations (0 on a nil handle).
@@ -210,9 +208,7 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
+	return math.Float64frombits(h.sumBits.Load())
 }
 
 // Mean returns the mean observation, or 0 before the first one.
@@ -220,12 +216,11 @@ func (h *Histogram) Mean() float64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
+	n := h.n.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.n)
+	return h.Sum() / float64(n)
 }
 
 // Span is a running stage timer started by Registry.Span. End records the

@@ -1,13 +1,17 @@
 // Package profiling wires runtime/pprof into the command-line tools: one
-// Start call at the top of main turns -cpuprofile/-memprofile flags into
-// profile files that `go tool pprof` reads directly.
+// Start call at the top of main turns -cpuprofile/-memprofile (and
+// -mutexprofile/-blockprofile) flags into profile files that `go tool
+// pprof` reads directly.
 //
 // The package exists so every tool validates and finalises profiles the
 // same way — profile files are created eagerly (a typo'd directory fails
 // at startup, not after a long sweep), and the returned stop function is
 // what actually makes them valid: a CPU profile is empty until
-// StopCPUProfile runs, and the heap profile is written only at stop time,
-// after a forced GC, so it reflects live memory at the end of the run.
+// StopCPUProfile runs, the heap profile is written only at stop time,
+// after a forced GC, so it reflects live memory at the end of the run,
+// and the mutex/block profiles are sampled between Start and stop (the
+// runtime sampling rates are switched on by Start and back off by stop,
+// so an unprofiled run pays nothing).
 package profiling
 
 import (
@@ -17,52 +21,107 @@ import (
 	"runtime/pprof"
 )
 
+// Config names the profile outputs a tool wants. Every path is optional;
+// an empty path skips that profile.
+type Config struct {
+	// CPUPath receives a CPU profile covering Start..stop.
+	CPUPath string
+	// MemPath receives a heap profile of live memory at stop time.
+	MemPath string
+	// MutexPath receives a mutex-contention profile: stacks that held
+	// mutexes other goroutines stalled on, with full sampling
+	// (SetMutexProfileFraction(1)) between Start and stop. This is the
+	// profile that drove the parallel-sweep contention diagnosis.
+	MutexPath string
+	// BlockPath receives a blocking profile: stacks that waited on
+	// channels and sync primitives, with full sampling
+	// (SetBlockProfileRate(1)) between Start and stop.
+	BlockPath string
+}
+
 // Start begins CPU profiling into cpuPath and arranges for a heap profile
-// to be written to memPath when the returned stop function runs. Either
-// path may be empty to skip that profile; with both empty, Start is a
-// no-op and stop still must be called (it returns nil).
+// to be written to memPath when the returned stop function runs. It is
+// StartWith restricted to the two original profiles; tools that also want
+// mutex/block profiles call StartWith directly.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	return StartWith(Config{CPUPath: cpuPath, MemPath: memPath})
+}
+
+// StartWith begins profiling per cfg. With every path empty it is a no-op
+// and stop still must be called (it returns nil).
 //
 // The stop function is not idempotent and must be called exactly once,
 // after the work being profiled — typically via defer in main. Its error
-// reports a failed heap-profile write.
-func Start(cpuPath, memPath string) (stop func() error, err error) {
-	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
-		if err != nil {
+// reports the first failed profile write. stop also restores the
+// mutex/block sampling rates to their off defaults.
+func StartWith(cfg Config) (stop func() error, err error) {
+	// Create every requested file eagerly so a bad path fails at startup,
+	// not after a long sweep.
+	var files [4]*os.File
+	paths := [4]string{cfg.CPUPath, cfg.MemPath, cfg.MutexPath, cfg.BlockPath}
+	cleanup := func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}
+	for i, p := range paths {
+		if p == "" {
+			continue
+		}
+		if files[i], err = os.Create(p); err != nil {
+			cleanup()
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
+	}
+	cpuFile, memFile, mutexFile, blockFile := files[0], files[1], files[2], files[3]
+	if cpuFile != nil {
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			cleanup()
 			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
 		}
 	}
-	var memFile *os.File
-	if memPath != "" {
-		memFile, err = os.Create(memPath)
-		if err != nil {
-			if cpuFile != nil {
-				pprof.StopCPUProfile()
-				cpuFile.Close()
-			}
-			return nil, fmt.Errorf("profiling: %w", err)
-		}
+	// Sampling rate 1 records every contention event — the tools profile
+	// short bounded runs, so completeness beats sampling overhead.
+	if mutexFile != nil {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if blockFile != nil {
+		runtime.SetBlockProfileRate(1)
 	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
 		}
-		if memFile == nil {
-			return nil
+		var firstErr error
+		write := func(name string, f *os.File) {
+			if f == nil {
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup(name).WriteTo(f, 0); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("profiling: write %s profile: %w", name, err)
+			}
 		}
-		defer memFile.Close()
-		// Materialise pending frees so the profile shows live objects, not
-		// garbage awaiting collection.
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(memFile); err != nil {
-			return fmt.Errorf("profiling: write heap profile: %w", err)
+		if mutexFile != nil {
+			write("mutex", mutexFile)
+			runtime.SetMutexProfileFraction(0)
 		}
-		return nil
+		if blockFile != nil {
+			write("block", blockFile)
+			runtime.SetBlockProfileRate(0)
+		}
+		if memFile != nil {
+			defer memFile.Close()
+			// Materialise pending frees so the profile shows live objects,
+			// not garbage awaiting collection.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memFile); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+		}
+		return firstErr
 	}, nil
 }

@@ -3,6 +3,8 @@ package profiling
 import (
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 )
 
@@ -59,6 +61,61 @@ func TestStartMemOnly(t *testing.T) {
 	}
 	if fi.Size() == 0 {
 		t.Error("empty heap profile")
+	}
+}
+
+func TestStartWithMutexAndBlockProfiles(t *testing.T) {
+	dir := t.TempDir()
+	mutexPath := filepath.Join(dir, "mutex.pprof")
+	blockPath := filepath.Join(dir, "block.pprof")
+	stop, err := StartWith(Config{MutexPath: mutexPath, BlockPath: blockPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.SetMutexProfileFraction(-1) != 1 {
+		t.Error("mutex profiling not enabled between StartWith and stop")
+	}
+	// Generate some contention so the profiles have events to record.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				mu.Lock()
+				for k := 0; k < 100; k++ {
+					_ = k * k
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if runtime.SetMutexProfileFraction(-1) != 0 {
+		t.Error("mutex profiling still enabled after stop")
+	}
+	for _, path := range []string{mutexPath, blockPath} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", filepath.Base(path))
+		}
+	}
+}
+
+func TestStartWithBadMutexPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "mutex.pprof")
+	if _, err := StartWith(Config{MutexPath: bad}); err == nil {
+		t.Fatal("expected error for unwritable mutex profile path")
+	}
+	if runtime.SetMutexProfileFraction(-1) != 0 {
+		t.Error("mutex profiling left enabled after failed StartWith")
 	}
 }
 
