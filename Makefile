@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race doccheck bench benchdiff benchpaper benchsmoke fuzzseed covercheck apicheck apiupdate
+.PHONY: ci vet build test race doccheck bench benchdiff benchpaper benchsmoke fuzzseed covercheck apicheck apiupdate guidelines
 
-ci: vet build test race benchsmoke fuzzseed covercheck doccheck apicheck
+ci: vet build test race benchsmoke fuzzseed guidelines covercheck doccheck apicheck
 
 vet:
 	$(GO) vet ./...
@@ -94,12 +94,18 @@ benchsmoke:
 # each f.Add seed must keep the replay and scheduler engines
 # bit-identical (experiment) and both selectors total (selection).
 fuzzseed:
-	$(GO) test -run='^Fuzz' ./internal/experiment/ ./internal/selection/
+	$(GO) test -run='^Fuzz' ./internal/experiment/ ./internal/selection/ ./internal/guideline/
+
+# Performance-guideline smoke gate: verify the self-consistency registry
+# on a reduced grid (one cluster, one random perturbation, small P × m
+# grid). Zero violations tolerated — the command exits non-zero on any.
+guidelines:
+	$(GO) run ./cmd/mpicollperf verify-guidelines -quick -out ""
 
 # Coverage regression gate: total statement coverage of internal/... must
 # not drop below the recorded baseline (in percent, measured with a
 # shuffled, uncached run when the gate was introduced).
-COVER_BASELINE = 91.9
+COVER_BASELINE = 92.2
 covercheck:
 	$(GO) test -count=1 -shuffle=on -coverprofile=.cover.out ./internal/...
 	@total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \

@@ -29,9 +29,12 @@
 // collected counters, gauges, and span histograms — sweep points measured
 // vs cached, per-engine repetition counts, simulator run/transfer totals,
 // class-aware scheduler statistics (structure-class groups, duplicate
-// captures avoided, single-flight wait times), and per-algorithm fit
-// statistics. The calibration runs twice against a
-// shared measurement cache so the cache-hit counters are exercised too.
+// captures avoided, single-flight wait times), per-algorithm fit
+// statistics, and the guideline-verification counters
+// (guideline_checks_total, guideline_violations_total, per-guideline
+// ratio histograms) from a small invariant check. The calibration runs
+// twice against a shared measurement cache so the cache-hit counters are
+// exercised too.
 // The artifact prints as a human-readable table; -csv adds the JSON
 // snapshot, and -out DIR writes it to DIR/metrics_<cluster>.json.
 package main
@@ -48,6 +51,7 @@ import (
 	"mpicollperf/internal/core"
 	"mpicollperf/internal/estimate"
 	"mpicollperf/internal/experiment"
+	"mpicollperf/internal/guideline"
 	"mpicollperf/internal/obs"
 	"mpicollperf/internal/selection"
 	"mpicollperf/internal/stats"
@@ -76,8 +80,14 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) == 0 || args[0] != "reproduce" {
-		return fmt.Errorf("usage: mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|robustness|metrics|all}")
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mpicollperf {reproduce|verify-guidelines} [flags] ...")
+	}
+	if args[0] == "verify-guidelines" {
+		return runVerifyGuidelines(args[1:])
+	}
+	if args[0] != "reproduce" {
+		return fmt.Errorf("usage: mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|robustness|metrics|all}\n       mpicollperf verify-guidelines [flags]")
 	}
 	fs := flag.NewFlagSet("reproduce", flag.ContinueOnError)
 	clusterFlag := fs.String("cluster", "both", "grisou, gros or both")
@@ -278,7 +288,10 @@ func runRobustness(cfg runConfig) error {
 // cluster with a metrics registry attached. The calibration runs twice
 // against a shared in-memory measurement cache, so the artifact shows both
 // the cold path (points measured, engine repetitions, simulator totals,
-// fit statistics) and the warm path (points served from cache).
+// fit statistics) and the warm path (points served from cache). A small
+// guideline-verification pass over the same registry populates the
+// guideline_checks_total / guideline_violations_total counters and the
+// per-guideline ratio histograms alongside.
 func runMetrics(cfg runConfig) error {
 	for _, pr := range cfg.profiles {
 		p := cfg.estProcs[pr.Name]
@@ -297,7 +310,18 @@ func runMetrics(cfg runConfig) error {
 				return err
 			}
 		}
-		fmt.Printf("observability metrics: calibration of %s (P=%d, two passes over a shared cache)\n\n", pr.Name, p)
+		gh := guideline.Harness{
+			Profiles:   []cluster.Profile{pr},
+			Guidelines: guideline.Invariant(),
+			Procs:      []int{4},
+			Sizes:      []int{8 << 10},
+			Settings:   experiment.Settings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 10, Warmup: 1, Engine: cfg.settings.Engine},
+			Metrics:    reg,
+		}
+		if _, err := gh.Run(context.Background()); err != nil {
+			return err
+		}
+		fmt.Printf("observability metrics: calibration of %s (P=%d, two passes over a shared cache) plus a guideline check\n\n", pr.Name, p)
 		if err := reg.WriteTable(os.Stdout); err != nil {
 			return err
 		}

@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/mpi"
+)
+
+// Composed chains stages into a single operation: every rank executes the
+// stages back to back within one repetition, exactly as if they were
+// written inline in one Op. The composition is what the performance
+// guidelines of Hunold & Carpen-Amarie compare collectives against —
+// Bcast(m) ≾ Scatter(m)+Allgather(m) is "a broadcast must not lose to the
+// composition that implements it" — and what the paper's §4.2 estimation
+// experiment (broadcast followed by a gather) is built from.
+func Composed(stages ...Op) Op {
+	if len(stages) == 1 {
+		return stages[0]
+	}
+	return func(p *mpi.Proc) {
+		for _, stage := range stages {
+			stage(p)
+		}
+	}
+}
+
+// MeasureComposed measures the chained stages on a fresh Runner built from
+// pr: one adaptive measurement of the whole chain in the given mode. At
+// least one stage is required.
+func MeasureComposed(pr cluster.Profile, nprocs int, set Settings, mode Mode, stages ...Op) (Measurement, error) {
+	r, err := newProfileRunner(pr, nil)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return MeasureComposedOn(r, pr, nprocs, set, mode, stages...)
+}
+
+// MeasureComposedOn is MeasureComposed on a reusable Runner built from pr
+// (see newProfileRunner); callers measuring many compositions on the same
+// platform keep one warm Runner instead of rebuilding scheduler state per
+// measurement.
+func MeasureComposedOn(r *mpi.Runner, pr cluster.Profile, nprocs int, set Settings, mode Mode, stages ...Op) (Measurement, error) {
+	return MeasureComposedClass(r, pr, nprocs, set, mode, "", nil, stages...)
+}
+
+// MeasureComposedClass is MeasureComposedOn with an optional plan-template
+// structure class attached: when classKey is non-empty and tmpl is
+// non-nil, the first measured composition of the class captures its plan
+// under the scheduler and publishes it to tmpl, and every later
+// measurement of the class rebinds that template goroutine-free
+// (mpi.Runner.Rebind) — with bit-identical samples either way. The class
+// key must identify the composition's communication *structure* (ranks,
+// peers, tags, segment counts), never its byte counts, which the rebind
+// harvests per point; a too-coarse key is safe (the rebind detects
+// divergence and falls back to a fresh capture) but wastes the fast path.
+func MeasureComposedClass(r *mpi.Runner, pr cluster.Profile, nprocs int, set Settings, mode Mode, classKey string, tmpl *mpi.TemplateStore, stages ...Op) (Measurement, error) {
+	if len(stages) == 0 {
+		return Measurement{}, fmt.Errorf("experiment: composed measurement needs at least one stage")
+	}
+	if nprocs > pr.Nodes {
+		return Measurement{}, fmt.Errorf("experiment: %d procs exceed %s's %d nodes", nprocs, pr.Name, pr.Nodes)
+	}
+	cls := planClass{}
+	if tmpl != nil && classKey != "" {
+		cls = planClass{key: classKey, store: tmpl}
+	}
+	return measureOnClass(r, nprocs, set, mode, Composed(stages...), cls)
+}

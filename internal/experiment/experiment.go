@@ -807,26 +807,28 @@ func MeasureBcastThenGatherOn(r *mpi.Runner, pr cluster.Profile, nprocs int, alg
 }
 
 // measureBcastThenGatherOn is MeasureBcastThenGatherOn with an optional
-// plan-template store. The linear-without-synchronisation gather's
-// structure is a function of the communicator size alone (its per-rank
-// bytes are harvested by the rebind), so the class key is the broadcast's
-// with a gather suffix.
+// plan-template store — a shim over the general MeasureComposedClass, kept
+// because the §4.2 experiment is the sweep engine's PointBcastThenGather
+// kind. The linear-without-synchronisation gather's structure is a
+// function of the communicator size alone (its per-rank bytes are
+// harvested by the rebind), so the class key is the broadcast's with a
+// gather suffix.
 func measureBcastThenGatherOn(r *mpi.Runner, pr cluster.Profile, nprocs int, alg coll.BcastAlgorithm, m, segSize, mg int, set Settings, tmpl *mpi.TemplateStore) (Measurement, error) {
-	if nprocs > pr.Nodes {
-		return Measurement{}, fmt.Errorf("experiment: %d procs exceed %s's %d nodes", nprocs, pr.Name, pr.Nodes)
-	}
-	cls := planClass{}
+	key := ""
 	if tmpl != nil {
-		cls = planClass{key: coll.BcastClassKey(alg, nprocs, m, segSize) + gatherClassSuffix, store: tmpl}
+		key = coll.BcastClassKey(alg, nprocs, m, segSize) + gatherClassSuffix
 	}
-	return measureOnClass(r, nprocs, set, RootTime, func(p *mpi.Proc) {
-		coll.Bcast(p, alg, 0, coll.Synthetic(m), segSize)
-		if p.Rank() == 0 {
-			coll.Gather(p, coll.GatherLinearNoSync, 0, coll.Synthetic(mg*p.Size()), mg)
-		} else {
-			coll.Gather(p, coll.GatherLinearNoSync, 0, coll.Synthetic(mg), mg)
-		}
-	}, cls)
+	return MeasureComposedClass(r, pr, nprocs, set, RootTime, key, tmpl,
+		func(p *mpi.Proc) {
+			coll.Bcast(p, alg, 0, coll.Synthetic(m), segSize)
+		},
+		func(p *mpi.Proc) {
+			if p.Rank() == 0 {
+				coll.Gather(p, coll.GatherLinearNoSync, 0, coll.Synthetic(mg*p.Size()), mg)
+			} else {
+				coll.Gather(p, coll.GatherLinearNoSync, 0, coll.Synthetic(mg), mg)
+			}
+		})
 }
 
 // MeasureLinearBcast measures the non-blocking linear broadcast of one
