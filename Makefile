@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race doccheck bench benchdiff benchpaper benchsmoke fuzzseed covercheck apicheck apiupdate guidelines
+.PHONY: ci vet build test race doccheck bench benchdiff benchpaper benchsmoke fuzzseed covercheck apicheck apiupdate guidelines servecheck
 
-ci: vet build test race benchsmoke fuzzseed guidelines covercheck doccheck apicheck
+ci: vet build test race benchsmoke fuzzseed guidelines servecheck covercheck doccheck apicheck
 
 vet:
 	$(GO) vet ./...
@@ -101,6 +101,13 @@ fuzzseed:
 # grid). Zero violations tolerated — the command exits non-zero on any.
 guidelines:
 	$(GO) run ./cmd/mpicollperf verify-guidelines -quick -out ""
+
+# Daemon smoke gate: boot mpicollperfd on an ephemeral port and drive a
+# full client cycle — submit a calibration, poll to completion, query
+# selections (broadcast + one extended family), cancel a full-scale job,
+# and drain the daemon with SIGTERM. See scripts/servecheck.sh.
+servecheck:
+	GO="$(GO)" sh scripts/servecheck.sh
 
 # Coverage regression gate: total statement coverage of internal/... must
 # not drop below the recorded baseline (in percent, measured with a

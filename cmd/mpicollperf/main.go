@@ -81,13 +81,16 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mpicollperf {reproduce|verify-guidelines} [flags] ...")
+		return fmt.Errorf("usage: mpicollperf {reproduce|verify-guidelines|serve} [flags] ...")
 	}
 	if args[0] == "verify-guidelines" {
 		return runVerifyGuidelines(args[1:])
 	}
+	if args[0] == "serve" {
+		return runServe(args[1:], os.Stdout)
+	}
 	if args[0] != "reproduce" {
-		return fmt.Errorf("usage: mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|robustness|metrics|all}\n       mpicollperf verify-guidelines [flags]")
+		return fmt.Errorf("usage: mpicollperf reproduce [flags] {fig1|table1|table2|fig5|table3|robustness|metrics|all}\n       mpicollperf verify-guidelines [flags]\n       mpicollperf serve {submit|status|wait|list|cancel|select} [flags]")
 	}
 	fs := flag.NewFlagSet("reproduce", flag.ContinueOnError)
 	clusterFlag := fs.String("cluster", "both", "grisou, gros or both")

@@ -17,6 +17,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
@@ -28,6 +29,20 @@ import (
 	"mpicollperf/internal/selection"
 )
 
+// Daemon-facing sentinel errors: long-running servers map failures to
+// HTTP status codes with errors.Is instead of string matching, so the
+// distinctions the handlers need are pinned here. Returners wrap them
+// with context (fmt.Errorf("...: %w", ...)).
+var (
+	// ErrNotCalibrated reports a selection query against a (profile,
+	// collective) pair that has no fitted models yet — the caller should
+	// calibrate first (or wait for a calibration job to finish).
+	ErrNotCalibrated = errors.New("not calibrated")
+	// ErrUnknownProfile reports a query referencing a platform profile
+	// this process does not know.
+	ErrUnknownProfile = errors.New("unknown profile")
+)
+
 // Selector is a calibrated run-time algorithm selector for one platform.
 type Selector struct {
 	// Profile is the platform the selector was calibrated on.
@@ -36,6 +51,11 @@ type Selector struct {
 	Models model.BcastModels
 	// GammaDetail keeps the raw γ estimation diagnostics.
 	GammaDetail estimate.GammaResult
+	// Extended holds per-family extended-collective selectors keyed by
+	// family name ("allgather", "reduce", ...), populated by
+	// CalibrateExtendedOp. BestFor consults it for every non-broadcast
+	// collective; nil or missing entries report ErrNotCalibrated.
+	Extended map[string]*selection.ExtendedSelector
 }
 
 // Calibrate runs the full offline estimation pipeline (§4) on the profile
@@ -64,6 +84,107 @@ func (s *Selector) Best(P, m int) (selection.Choice, error) {
 	return selection.ModelBased{Models: s.Models}.Select(P, m)
 }
 
+// OpBcast is the collective-family name of the broadcast models every
+// Selector carries; the extended families take their names from
+// estimate.AllSpecFamilies.
+const OpBcast = "bcast"
+
+// OpChoice is a collective-agnostic selection result: the winning
+// algorithm of one collective family for (P, m), in the query shape the
+// daemon's wire API and the library facade share.
+type OpChoice struct {
+	// Op is the collective family the query was about ("bcast",
+	// "allgather", ...).
+	Op string
+	// Algorithm names the winning algorithm, family-qualified
+	// ("bcast/binomial", "allgather/ring").
+	Algorithm string
+	// SegSize is the segment size the algorithm should run with
+	// (0 = unsegmented).
+	SegSize int
+	// Predicted is the winning algorithm's modelled time in seconds.
+	Predicted float64
+}
+
+// bcastAlgs and bcastOpNames are hoisted so BestFor allocates nothing:
+// the run-time decision sits on the daemon's hot select path.
+var (
+	bcastAlgs    = coll.BcastAlgorithms()
+	bcastOpNames = func() []string {
+		names := make([]string, len(bcastAlgs))
+		for i, alg := range bcastAlgs {
+			names[i] = OpBcast + "/" + alg.String()
+		}
+		return names
+	}()
+)
+
+// BestFor generalises Best across collective families: op selects the
+// family ("" or "bcast" for the broadcast models; any calibrated extended
+// family otherwise), and the result carries the family-qualified winner
+// plus its predicted time. Querying a family with no fitted models
+// reports ErrNotCalibrated. BestFor performs no allocation on the happy
+// path — it is the daemon's hot selection primitive.
+func (s *Selector) BestFor(op string, P, m int) (OpChoice, error) {
+	if op == "" || op == OpBcast {
+		best, bestT := -1, 0.0
+		for i, alg := range bcastAlgs {
+			t, err := s.Models.Predict(alg, P, m)
+			if err != nil {
+				continue
+			}
+			if best < 0 || t < bestT {
+				best, bestT = i, t
+			}
+		}
+		if best < 0 {
+			return OpChoice{}, fmt.Errorf("core: no broadcast models on %s: %w", s.Models.Cluster, ErrNotCalibrated)
+		}
+		return OpChoice{Op: OpBcast, Algorithm: bcastOpNames[best], SegSize: s.Models.SegSize, Predicted: bestT}, nil
+	}
+	es := s.Extended[op]
+	if es == nil || len(es.Specs) == 0 {
+		return OpChoice{}, fmt.Errorf("core: collective %q on %s: %w", op, s.Models.Cluster, ErrNotCalibrated)
+	}
+	i, name := es.Best(P, m)
+	return OpChoice{Op: op, Algorithm: name, SegSize: es.SegSize, Predicted: es.Predict(i, P, m)}, nil
+}
+
+// CalibrateExtendedOp fits the named extended collective family ("gather",
+// "allreduce", ... — see estimate.AllSpecFamilies) on the selector's
+// platform, reusing the already-estimated γ, and attaches the result so
+// BestFor can answer queries for it. The per-spec estimations check ctx
+// between specs, so a cancelled context stops the calibration at the next
+// algorithm boundary.
+func (s *Selector) CalibrateExtendedOp(ctx context.Context, op string, cfg estimate.AlphaBetaConfig) error {
+	specs, ok := estimate.AllSpecFamilies()[op]
+	if !ok {
+		return fmt.Errorf("core: unknown collective family %q", op)
+	}
+	sel := &selection.ExtendedSelector{
+		Cluster: s.Profile.Name,
+		SegSize: s.Profile.SegmentSize,
+		Gamma:   s.Models.Gamma,
+		Specs:   specs,
+		Params:  make([]model.Hockney, len(specs)),
+	}
+	for i, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res, err := estimate.AlphaBetaCollective(s.Profile, spec, s.Models.Gamma, cfg)
+		if err != nil {
+			return fmt.Errorf("core: calibrating %s: %w", spec.Name, err)
+		}
+		sel.Params[i] = res.Params
+	}
+	if s.Extended == nil {
+		s.Extended = make(map[string]*selection.ExtendedSelector)
+	}
+	s.Extended[op] = sel
+	return nil
+}
+
 // Predict returns the modelled time of one algorithm.
 func (s *Selector) Predict(alg coll.BcastAlgorithm, P, m int) (float64, error) {
 	return s.Models.Predict(alg, P, m)
@@ -85,11 +206,14 @@ func (s *Selector) MeasureBcast(alg coll.BcastAlgorithm, P, m int, set experimen
 	return meas.Mean, nil
 }
 
-// calibrationFileVersion is the current calibration file schema version.
-// Bump it when the schema changes incompatibly; LoadModels rejects files
-// carrying any other version (including files from before versioning,
-// which parse as version 0) with an *UnsupportedVersionError.
-const calibrationFileVersion = 1
+// CalibrationSchemaVersion is the current calibration file schema
+// version. Bump it when the schema changes incompatibly; LoadModels
+// rejects files carrying any other version (including files from before
+// versioning, which parse as version 0) with an
+// *UnsupportedVersionError. The daemon's content-addressed store keys
+// its files by profile digest plus this version, so a schema bump makes
+// old cache entries invisible instead of unreadable.
+const CalibrationSchemaVersion = 1
 
 // UnsupportedVersionError reports a calibration file whose schema version
 // this build does not understand — newer than this library, or predating
@@ -103,7 +227,7 @@ type UnsupportedVersionError struct {
 
 func (e *UnsupportedVersionError) Error() string {
 	return fmt.Sprintf("core: calibration %s has unsupported schema version %d (supported: %d); recalibrate with this library version",
-		e.Path, e.Version, calibrationFileVersion)
+		e.Path, e.Version, CalibrationSchemaVersion)
 }
 
 // calibrationFile is the JSON persistence schema. Algorithm keys are
@@ -126,7 +250,7 @@ type calibrationFile struct {
 // SaveModels writes the calibrated models to a JSON file.
 func (s *Selector) SaveModels(path string) error {
 	var f calibrationFile
-	f.Version = calibrationFileVersion
+	f.Version = CalibrationSchemaVersion
 	f.Cluster = s.Models.Cluster
 	f.SegSize = s.Models.SegSize
 	f.GammaTab = make(map[string]float64, len(s.Models.Gamma.Table))
@@ -157,13 +281,17 @@ func (s *Selector) SaveModels(path string) error {
 func LoadModels(pr cluster.Profile, path string) (*Selector, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		// Keep the underlying error in the chain: a missing file must stay
+		// distinguishable (errors.Is(err, fs.ErrNotExist)) from a corrupt
+		// one, so a calibration store can answer "not yet calibrated"
+		// instead of surfacing an opaque failure.
+		return nil, fmt.Errorf("core: loading calibration %s: %w", path, err)
 	}
 	var f calibrationFile
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("core: parsing %s: %w", path, err)
 	}
-	if f.Version != calibrationFileVersion {
+	if f.Version != CalibrationSchemaVersion {
 		return nil, &UnsupportedVersionError{Path: path, Version: f.Version}
 	}
 	if f.Cluster != pr.Name {

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/estimate"
+)
+
+// TestBestForBcast pins that the collective-generic query agrees with the
+// bcast-only decision function and carries the winning predicted time.
+func TestBestForBcast(t *testing.T) {
+	sel := calibrateSmall(t)
+	choice, err := sel.Best(16, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"", OpBcast} {
+		oc, err := sel.BestFor(op, 16, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oc.Op != OpBcast {
+			t.Fatalf("op = %q", oc.Op)
+		}
+		if want := OpBcast + "/" + choice.Alg.String(); oc.Algorithm != want {
+			t.Fatalf("BestFor = %q, Best = %q", oc.Algorithm, want)
+		}
+		if oc.SegSize != choice.SegSize {
+			t.Fatalf("seg size %d != %d", oc.SegSize, choice.SegSize)
+		}
+		pred, err := sel.Predict(choice.Alg, 16, 1<<20)
+		if err != nil || oc.Predicted != pred {
+			t.Fatalf("predicted %v, want %v (%v)", oc.Predicted, pred, err)
+		}
+	}
+}
+
+// TestBestForZeroAlloc pins the hot-path contract the daemon's select
+// endpoint builds on: a warm BestFor performs no allocation.
+func TestBestForZeroAlloc(t *testing.T) {
+	sel := calibrateSmall(t)
+	if err := sel.CalibrateExtendedOp(context.Background(), "gather", estimate.AlphaBetaConfig{
+		Procs: 8, Sizes: []int{4096, 65536}, Settings: fastSettings(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{OpBcast, "gather"} {
+		if _, err := sel.BestFor(op, 16, 1<<20); err != nil { // warm-up
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := sel.BestFor(op, 16, 1<<20); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("BestFor(%q) allocates %.1f per run, want 0", op, allocs)
+		}
+	}
+}
+
+// TestBestForExtended covers the extended-family path end to end:
+// calibrate one family, query it, and check the typed error shapes for
+// everything that is not calibrated.
+func TestBestForExtended(t *testing.T) {
+	sel := calibrateSmall(t)
+	if _, err := sel.BestFor("allgather", 8, 65536); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("uncalibrated family: err = %v, want ErrNotCalibrated", err)
+	}
+	cfg := estimate.AlphaBetaConfig{Procs: 8, Sizes: []int{4096, 65536}, Settings: fastSettings()}
+	if err := sel.CalibrateExtendedOp(context.Background(), "allgather", cfg); err != nil {
+		t.Fatal(err)
+	}
+	oc, err := sel.BestFor("allgather", 8, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(oc.Algorithm, "allgather/") || oc.Op != "allgather" {
+		t.Fatalf("extended choice = %+v", oc)
+	}
+	if oc.Predicted <= 0 {
+		t.Fatalf("predicted time %v", oc.Predicted)
+	}
+	if err := sel.CalibrateExtendedOp(context.Background(), "frobnicate", cfg); err == nil {
+		t.Fatal("unknown family should fail")
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sel.CalibrateExtendedOp(cancelled, "reduce", cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled calibration: err = %v", err)
+	}
+	if _, ok := sel.Extended["reduce"]; ok {
+		t.Fatal("cancelled calibration must not attach a selector")
+	}
+}
+
+// TestLoadModelsMissingFile pins that a missing calibration file stays
+// distinguishable from a corrupt one: the error wraps fs.ErrNotExist.
+func TestLoadModelsMissingFile(t *testing.T) {
+	pr, err := cluster.Grisou().WithNodes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadModels(pr, filepath.Join(t.TempDir(), "absent.json"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want fs.ErrNotExist in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "absent.json") {
+		t.Fatalf("error should name the file: %v", err)
+	}
+}

@@ -229,19 +229,23 @@ func PaperBinomialCoefficients(P, m, segSize int, g Gamma) (a, b float64) {
 // needs the extra relay hop (see coll.planSplitBinary).
 func splitBinaryHasSurplus(P int) bool {
 	n := P - 1 // non-root nodes, vranks 1..P-1
-	left, right := 0, 0
-	// Count descendants of vrank 1 (left) and vrank 2 (right) in the array
-	// embedding: level k of the left subtree spans [3·2^(k-1)-2 ... ] —
-	// simpler to just walk the implicit tree.
-	var count func(v int) int
-	count = func(v int) int {
-		if v > n {
-			return 0
+	return subtreeSize(1, n) != subtreeSize(2, n)
+}
+
+// subtreeSize counts the descendants of vrank v (inclusive) in the array
+// embedding over vranks 1..n, where v's children are 2v+1 and 2v+2. The
+// subtree's level d spans a contiguous vrank range, so the count walks
+// level ranges instead of recursing — this sits on the run-time selection
+// hot path (split-binary coefficients), which must not allocate.
+func subtreeSize(v, n int) int {
+	size := 0
+	for lo, hi := v, v; lo <= n; lo, hi = 2*lo+1, 2*hi+2 {
+		if hi > n {
+			hi = n
 		}
-		return 1 + count(2*v+1) + count(2*v+2)
+		size += hi - lo + 1
 	}
-	left, right = count(1), count(2)
-	return left != right
+	return size
 }
 
 // Predict returns the modelled execution time of the algorithm for the

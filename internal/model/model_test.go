@@ -302,3 +302,23 @@ func TestSplitBinarySurplusDetection(t *testing.T) {
 		t.Fatal("P=90 (paper's Grisou scale) has unequal subtrees")
 	}
 }
+
+// TestSubtreeSizeMatchesRecursion pins the level-walking subtree count
+// against the straightforward recursive definition over every P the
+// selectors can see, so the allocation-free form cannot drift.
+func TestSubtreeSizeMatchesRecursion(t *testing.T) {
+	var recurse func(v, n int) int
+	recurse = func(v, n int) int {
+		if v > n {
+			return 0
+		}
+		return 1 + recurse(2*v+1, n) + recurse(2*v+2, n)
+	}
+	for n := 0; n <= 300; n++ {
+		for _, v := range []int{1, 2} {
+			if got, want := subtreeSize(v, n), recurse(v, n); got != want {
+				t.Fatalf("subtreeSize(%d, %d) = %d, want %d", v, n, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// nullResponseWriter measures handler-level cost: headers land in a
+// reused map, the body is discarded. The daemon's acceptance criterion
+// (zero allocations, ≥10k QPS on the select path) is about the handler
+// — net/http's per-connection machinery is outside it.
+type nullResponseWriter struct {
+	h http.Header
+}
+
+func (n *nullResponseWriter) Header() http.Header         { return n.h }
+func (n *nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (n *nullResponseWriter) WriteHeader(int)             {}
+
+// replayBody is an io.ReadCloser that can rewind, so one request value
+// serves every benchmark iteration.
+type replayBody struct {
+	data []byte
+	off  int
+}
+
+func (b *replayBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *replayBody) Close() error { return nil }
+
+// selectHarness wires a calibrated server to a replayable select
+// request against the null writer.
+func selectHarness(tb testing.TB) (*Server, *http.Request, *replayBody, *nullResponseWriter) {
+	s := newTestServer(tb)
+	sel, pr := calibrateGrisou(tb)
+	publish(tb, s, sel, pr)
+	body := &replayBody{data: []byte(`{"version":1,"profile":"grisou","op":"bcast","p":16,"m":1048576}`)}
+	req := httptest.NewRequest(http.MethodPost, "/v1/select", nil)
+	req.Body = body
+	w := &nullResponseWriter{h: make(http.Header)}
+	return s, req, body, w
+}
+
+// TestSelectHandlerZeroAlloc pins the hot-path contract directly:
+// after one warm-up request, a select allocates nothing.
+func TestSelectHandlerZeroAlloc(t *testing.T) {
+	s, req, body, w := selectHarness(t)
+	body.off = 0
+	s.ServeHTTP(w, req) // warm up: cold table load, pool priming
+
+	allocs := testing.AllocsPerRun(500, func() {
+		body.off = 0
+		s.ServeHTTP(w, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("select handler allocates %.1f per request, want 0", allocs)
+	}
+	if got := s.mSelect.errs.Value(); got != 0 {
+		t.Fatalf("select errors counted: %d", got)
+	}
+}
+
+// BenchmarkSelectEndpoint measures the single-core select throughput
+// the daemon sustains at handler level; the qps metric is the
+// acceptance number (target ≥10k).
+func BenchmarkSelectEndpoint(b *testing.B) {
+	s, req, body, w := selectHarness(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.off = 0
+		s.ServeHTTP(w, req)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/core"
+	"mpicollperf/internal/serve/wire"
+)
+
+// TestNewStoreErrors pins the store constructor's failure and clamping
+// behaviour: a store rooted at a path occupied by a regular file cannot
+// be created, and a sub-1 cache capacity clamps to 1.
+func TestNewStoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(file, 4); err == nil {
+		t.Fatal("NewStore over a regular file should fail")
+	}
+	// New surfaces the same failure.
+	if _, err := New(Config{StoreDir: file}); err == nil {
+		t.Fatal("New over a regular file store dir should fail")
+	}
+
+	st, err := NewStore(filepath.Join(dir, "store"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.cap != 1 {
+		t.Fatalf("cacheCap 0 should clamp to 1, got %d", st.cap)
+	}
+}
+
+// TestStoreLRUMoveToFront exercises the cache-hit path: with capacity
+// two, touching the older entry via Get must protect it from the next
+// eviction.
+func TestStoreLRUMoveToFront(t *testing.T) {
+	sel, pr := calibrateGrisou(t)
+	st, err := NewStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"sha256-aa", "sha256-bb"} {
+		if err := st.Put(d, sel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cache hit on the LRU entry moves it to the front...
+	if _, err := st.Get(pr, "sha256-aa"); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a repeat hit on the now-front entry is a no-op move.
+	if _, err := st.Get(pr, "sha256-aa"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("sha256-cc", sel); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	_, aCached := st.cache["sha256-aa"]
+	_, bCached := st.cache["sha256-bb"]
+	st.mu.Unlock()
+	if !aCached || bCached {
+		t.Fatalf("after touch+insert: want aa cached, bb evicted; got aa=%v bb=%v", aCached, bCached)
+	}
+	// Re-putting a cached digest refreshes in place rather than growing.
+	if err := st.Put("sha256-cc", sel); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Len(); got != 2 {
+		t.Fatalf("cache len = %d, want 2", got)
+	}
+}
+
+// TestStorePutAndGetErrors pins the disk failure paths: Put where the
+// target path is a directory, and Get over a corrupt calibration file.
+func TestStorePutAndGetErrors(t *testing.T) {
+	sel, pr := calibrateGrisou(t)
+	dir := t.TempDir()
+	st, err := NewStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(st.path("sha256-dir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("sha256-dir", sel); err == nil {
+		t.Fatal("Put over a directory should fail")
+	}
+	if err := os.WriteFile(st.path("sha256-bad"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Get(pr, "sha256-bad")
+	if err == nil || errors.Is(err, core.ErrNotCalibrated) {
+		t.Fatalf("corrupt file should fail with a non-ErrNotCalibrated error, got %v", err)
+	}
+}
+
+// TestSelectColdLoadCorrupt drives the resolveCold internal-error
+// branch over HTTP: a corrupt calibration file under a builtin
+// profile's digest must surface as 500 internal, not 404.
+func TestSelectColdLoadCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{StoreDir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	digest := ProfileDigest(cluster.Grisou())
+	if err := os.WriteFile(filepath.Join(dir, digest+".json"), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, "POST", "/v1/select", `{"version":1,"profile":"grisou","op":"bcast","p":16,"m":1024}`)
+	wantError(t, rec, 500, wire.CodeInternal)
+}
+
+// TestSelectBodyLimits pins readInto's growth and overflow behaviour:
+// a padded body larger than the pool's initial buffer still parses,
+// and a body over MaxBody is rejected before parsing.
+func TestSelectBodyLimits(t *testing.T) {
+	s := newTestServer(t)
+	sel, pr := calibrateGrisou(t)
+	publish(t, s, sel, pr)
+
+	padded := `{"version":1,` + strings.Repeat(" ", 2048) +
+		`"profile":"grisou","op":"bcast","p":16,"m":1024}`
+	rec := do(t, s, "POST", "/v1/select", padded)
+	if rec.Code != 200 {
+		t.Fatalf("padded select = %d, want 200: %s", rec.Code, rec.Body)
+	}
+
+	// The pool's buffers start at 512 bytes, so MaxBody only bites once a
+	// body forces growth: the same padded request against a 16-byte limit
+	// must be rejected while reading, before parsing.
+	small, err := New(Config{StoreDir: t.TempDir(), MaxBody: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Close()
+	rec = do(t, small, "POST", "/v1/select", padded)
+	wantError(t, rec, 400, wire.CodeBadRequest)
+}
+
+// errReader fails with a non-EOF error after its content is drained.
+type errReader struct{ n int }
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.n > 0 {
+		r.n--
+		p[0] = ' '
+		return 1, nil
+	}
+	return 0, errors.New("connection reset")
+}
+
+func TestReadIntoError(t *testing.T) {
+	if _, err := readInto(&errReader{n: 2}, nil, 1<<20); err == nil {
+		t.Fatal("readInto should surface non-EOF read errors")
+	}
+	if _, err := readInto(io.LimitReader(&errReader{n: 1 << 30}, 64), nil, 32); err == nil {
+		t.Fatal("readInto should reject bodies over max")
+	}
+}
+
+// TestMetricsMethodNotAllowed pins /metrics as GET-only.
+func TestMetricsMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t)
+	rec := do(t, s, "POST", "/metrics", "")
+	wantError(t, rec, 405, wire.CodeMethodNotAllowed)
+}
+
+// TestSubmitAfterClose drives the HTTP-level 503 when the job manager
+// is draining.
+func TestSubmitAfterClose(t *testing.T) {
+	s := newTestServer(t)
+	s.jobs.Close()
+	rec := do(t, s, "POST", "/v1/calibrations", `{"version":1,"profile":"grisou","fast":true}`)
+	wantError(t, rec, 503, wire.CodeInternal)
+}
+
+// TestResolveProfile covers the request→profile translation directly:
+// unknown names and impossible node counts fail, a node override is
+// applied.
+func TestResolveProfile(t *testing.T) {
+	if _, err := resolveProfile(wire.CalibrationRequest{Profile: "nope"}); err == nil {
+		t.Fatal("unknown profile should fail")
+	}
+	if _, err := resolveProfile(wire.CalibrationRequest{Profile: "grisou", Nodes: 1 << 20}); err == nil {
+		t.Fatal("node count beyond the physical cluster should fail")
+	}
+	pr, err := resolveProfile(wire.CalibrationRequest{Profile: "grisou", Nodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Nodes != 16 {
+		t.Fatalf("nodes = %d, want 16", pr.Nodes)
+	}
+}
+
+// TestRunJobErrors drives runJob's failure branches directly: a request
+// that no longer resolves, a cancelled calibration context, an invalid
+// extended family, and a store that cannot persist the result.
+func TestRunJobErrors(t *testing.T) {
+	s := newTestServer(t)
+
+	j := &job{req: wire.CalibrationRequest{Profile: "nope"}}
+	if _, err := s.runJob(context.Background(), j); err == nil {
+		t.Fatal("unresolvable profile should fail")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j = &job{req: wire.CalibrationRequest{Profile: "grisou", Nodes: 16, Procs: 8, Sizes: []int{8192, 65536}, Fast: true}}
+	if _, err := s.runJob(ctx, j); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled calibration = %v, want context.Canceled", err)
+	}
+
+	// Submit-side validation normally rejects unknown families; a direct
+	// run must still fail cleanly rather than publish a partial result.
+	j = &job{req: wire.CalibrationRequest{Profile: "grisou", Nodes: 16, Procs: 8, Sizes: []int{8192, 65536}, Ops: []string{"bogus"}, Fast: true}}
+	if _, err := s.runJob(context.Background(), j); err == nil {
+		t.Fatal("unknown extended family should fail")
+	}
+
+	pr, err := cluster.Grisou().WithNodes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(s.store.path(ProfileDigest(pr)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	j = &job{req: wire.CalibrationRequest{Profile: "grisou", Nodes: 16, Procs: 8, Sizes: []int{8192, 65536}, Fast: true}}
+	if _, err := s.runJob(context.Background(), j); err == nil {
+		t.Fatal("unwritable store path should fail the job")
+	}
+}

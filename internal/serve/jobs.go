@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mpicollperf/internal/serve/wire"
+)
+
+// runFunc executes one calibration job body. It must honour ctx and
+// return the store digest the finished calibration was published
+// under.
+type runFunc func(ctx context.Context, j *job) (digest string, err error)
+
+// job is one asynchronous calibration: wire-visible state guarded by
+// the manager's mutex, sweep progress in atomics so the measurement
+// callback never contends with status queries.
+type job struct {
+	id      string
+	profile string
+	req     wire.CalibrationRequest
+
+	done  atomic.Int64
+	total atomic.Int64
+
+	cancel context.CancelFunc
+
+	// Guarded by Manager.mu.
+	state  wire.JobState
+	digest string
+	errMsg string
+}
+
+// progress is the job's experiment.Progress-shaped sink.
+func (j *job) progress(done, total int) {
+	j.done.Store(int64(done))
+	j.total.Store(int64(total))
+}
+
+// Manager owns the daemon's calibration jobs: submissions queue on a
+// bounded worker pool, every job carries its own cancellation context,
+// and Close drains in-flight work for graceful shutdown.
+type Manager struct {
+	sem chan struct{}
+	run runFunc
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	next   int
+	closed bool
+}
+
+// NewManager returns a manager running at most workers jobs at once
+// (minimum 1) through run.
+func NewManager(workers int, run runFunc) *Manager {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Manager{
+		sem:  make(chan struct{}, workers),
+		run:  run,
+		jobs: make(map[string]*job),
+	}
+}
+
+// Submit queues a calibration job and returns its wire snapshot
+// (state queued). Submissions after Close are rejected.
+func (m *Manager) Submit(profile string, req wire.CalibrationRequest) (wire.Job, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return wire.Job{}, errors.New("serve: job manager shutting down")
+	}
+	m.next++
+	j := &job{
+		id:      fmt.Sprintf("cal-%d", m.next),
+		profile: profile,
+		req:     req,
+		cancel:  cancel,
+		state:   wire.JobQueued,
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	snap := m.snapshotLocked(j)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go func() {
+		defer m.wg.Done()
+		defer cancel()
+		select {
+		case m.sem <- struct{}{}:
+			defer func() { <-m.sem }()
+		case <-ctx.Done():
+			m.finish(j, wire.JobCancelled, "", "")
+			return
+		}
+		if ctx.Err() != nil {
+			m.finish(j, wire.JobCancelled, "", "")
+			return
+		}
+		m.setState(j, wire.JobRunning)
+		digest, err := m.run(ctx, j)
+		switch {
+		case err == nil:
+			m.finish(j, wire.JobDone, digest, "")
+		case errors.Is(err, context.Canceled):
+			m.finish(j, wire.JobCancelled, "", "")
+		default:
+			m.finish(j, wire.JobFailed, "", err.Error())
+		}
+	}()
+	return snap, nil
+}
+
+// Cancel requests cancellation of a job. Queued jobs cancel
+// immediately; running jobs stop at the sweep's next cancellation
+// check. Unknown IDs report false.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// Snapshot returns the wire view of one job.
+func (m *Manager) Snapshot(id string) (wire.Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return wire.Job{}, false
+	}
+	return m.snapshotLocked(j), true
+}
+
+// List returns every job in submission order.
+func (m *Manager) List() wire.JobList {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	list := wire.JobList{Version: wire.Version, Jobs: make([]wire.Job, 0, len(m.order))}
+	for _, id := range m.order {
+		list.Jobs = append(list.Jobs, m.snapshotLocked(m.jobs[id]))
+	}
+	return list
+}
+
+// Close rejects further submissions and waits for in-flight jobs to
+// drain — the graceful-shutdown path. It does not cancel running jobs.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+func (m *Manager) setState(j *job, s wire.JobState) {
+	m.mu.Lock()
+	if j.state == wire.JobQueued || j.state == wire.JobRunning {
+		j.state = s
+	}
+	m.mu.Unlock()
+}
+
+func (m *Manager) finish(j *job, s wire.JobState, digest, errMsg string) {
+	m.mu.Lock()
+	if j.state == wire.JobQueued || j.state == wire.JobRunning {
+		j.state = s
+		j.digest = digest
+		j.errMsg = errMsg
+	}
+	m.mu.Unlock()
+}
+
+func (m *Manager) snapshotLocked(j *job) wire.Job {
+	return wire.Job{
+		Version: wire.Version,
+		ID:      j.id,
+		State:   j.state,
+		Profile: j.profile,
+		Digest:  j.digest,
+		Done:    int(j.done.Load()),
+		Total:   int(j.total.Load()),
+		Error:   j.errMsg,
+	}
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mpicollperf/internal/cluster"
+	"mpicollperf/internal/core"
+)
+
+// ProfileDigest content-addresses a platform profile for the
+// calibration store: the SHA-256 of the profile's canonical JSON form
+// prefixed with the calibration schema version. Two profiles digest
+// equal exactly when a calibration fitted on one is valid for the
+// other, and a schema bump invalidates every stored calibration at
+// once.
+func ProfileDigest(pr cluster.Profile) string {
+	canon, err := json.Marshal(pr)
+	if err != nil {
+		// Profile is a plain struct of scalars and slices; Marshal cannot
+		// fail on it. Guard anyway so a future field keeps digests honest.
+		panic(fmt.Sprintf("serve: profile not canonicalisable: %v", err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d:", core.CalibrationSchemaVersion)
+	h.Write(canon)
+	return "sha256-" + hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// Store is the daemon's content-addressed calibration store: fitted
+// models persisted as JSON files keyed by profile digest, fronted by a
+// bounded in-memory LRU of attached selectors. Safe for concurrent
+// use.
+type Store struct {
+	dir string
+	cap int
+
+	mu    sync.Mutex
+	cache map[string]*storeEntry // digest -> entry (also linked LRU)
+	head  *storeEntry            // most recently used
+	tail  *storeEntry            // least recently used
+}
+
+type storeEntry struct {
+	digest     string
+	sel        *core.Selector
+	prev, next *storeEntry
+}
+
+// NewStore opens (creating if needed) a calibration store rooted at
+// dir, keeping at most cacheCap selectors in memory (minimum 1).
+func NewStore(dir string, cacheCap int) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: opening store %s: %w", dir, err)
+	}
+	if cacheCap < 1 {
+		cacheCap = 1
+	}
+	return &Store{dir: dir, cap: cacheCap, cache: make(map[string]*storeEntry)}, nil
+}
+
+func (st *Store) path(digest string) string {
+	return filepath.Join(st.dir, digest+".json")
+}
+
+// Put persists a calibrated selector under its digest and caches it.
+func (st *Store) Put(digest string, sel *core.Selector) error {
+	if err := sel.SaveModels(st.path(digest)); err != nil {
+		return fmt.Errorf("serve: persisting calibration %s: %w", digest, err)
+	}
+	st.mu.Lock()
+	st.insert(digest, sel)
+	st.mu.Unlock()
+	return nil
+}
+
+// Get returns the calibrated selector stored under digest, attached to
+// pr — from memory if cached, from disk otherwise. A digest that was
+// never calibrated reports core.ErrNotCalibrated.
+func (st *Store) Get(pr cluster.Profile, digest string) (*core.Selector, error) {
+	st.mu.Lock()
+	if e, ok := st.cache[digest]; ok {
+		st.moveToFront(e)
+		sel := e.sel
+		st.mu.Unlock()
+		return sel, nil
+	}
+	st.mu.Unlock()
+
+	sel, err := core.LoadModels(pr, st.path(digest))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("serve: no calibration stored for %s: %w", digest, core.ErrNotCalibrated)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	st.insert(digest, sel)
+	st.mu.Unlock()
+	return sel, nil
+}
+
+// Len reports the number of cached selectors (not files on disk).
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.cache)
+}
+
+// insert adds or refreshes an entry at the LRU front and evicts past
+// capacity. Caller holds st.mu.
+func (st *Store) insert(digest string, sel *core.Selector) {
+	if e, ok := st.cache[digest]; ok {
+		e.sel = sel
+		st.moveToFront(e)
+		return
+	}
+	e := &storeEntry{digest: digest, sel: sel}
+	st.cache[digest] = e
+	st.pushFront(e)
+	for len(st.cache) > st.cap {
+		lru := st.tail
+		st.unlink(lru)
+		delete(st.cache, lru.digest)
+	}
+}
+
+func (st *Store) pushFront(e *storeEntry) {
+	e.prev, e.next = nil, st.head
+	if st.head != nil {
+		st.head.prev = e
+	}
+	st.head = e
+	if st.tail == nil {
+		st.tail = e
+	}
+}
+
+func (st *Store) unlink(e *storeEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		st.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		st.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (st *Store) moveToFront(e *storeEntry) {
+	if st.head == e {
+		return
+	}
+	st.unlink(e)
+	st.pushFront(e)
+}

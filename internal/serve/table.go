@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mpicollperf/internal/core"
+)
+
+// tableEntry is one resolvable selector: the calibrated selector plus
+// the canonical interned key string the select handler echoes back
+// without allocating.
+type tableEntry struct {
+	key string
+	sel *core.Selector
+}
+
+// Table is the daemon's hot selector table: an immutable map swapped
+// atomically on every update (copy-on-write), so the select path reads
+// it with one atomic load and zero locking or allocation. Updates are
+// rare (a calibration finishing, a lazy load) and serialised by mu.
+type Table struct {
+	mu sync.Mutex
+	p  atomic.Pointer[map[string]*tableEntry]
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	t := &Table{}
+	m := make(map[string]*tableEntry)
+	t.p.Store(&m)
+	return t
+}
+
+// Lookup resolves a selector by key bytes (profile name or digest)
+// without allocating; nil means unknown to the hot table.
+func (t *Table) Lookup(key []byte) *tableEntry {
+	return (*t.p.Load())[string(key)]
+}
+
+// Set publishes sel under every key in keys (each key echoes itself as
+// the canonical name in responses).
+func (t *Table) Set(sel *core.Selector, keys ...string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := *t.p.Load()
+	m := make(map[string]*tableEntry, len(old)+len(keys))
+	for k, v := range old {
+		m[k] = v
+	}
+	for _, k := range keys {
+		m[k] = &tableEntry{key: k, sel: sel}
+	}
+	t.p.Store(&m)
+}
+
+// Len reports the number of published keys.
+func (t *Table) Len() int {
+	return len(*t.p.Load())
+}

@@ -27,10 +27,17 @@
 //	sel, err := mpicollperf.Calibrate(context.Background(), profile)
 //	if err != nil { ... }
 //	choice, err := sel.Best(90, 1<<20) // which algorithm for 1 MB over 90 ranks?
+//
+// Beyond broadcast, Selector.BestFor(op, P, m) answers the same query for
+// any calibrated collective family (see Collectives, CalibrateExtended);
+// the mpicollperfd daemon serves both shapes over a versioned HTTP/JSON
+// API (cmd/mpicollperfd, internal/serve).
 package mpicollperf
 
 import (
 	"context"
+	"fmt"
+	"sort"
 
 	"mpicollperf/internal/cluster"
 	"mpicollperf/internal/coll"
@@ -41,6 +48,18 @@ import (
 	"mpicollperf/internal/obs"
 	"mpicollperf/internal/perturb"
 	"mpicollperf/internal/selection"
+)
+
+// Daemon-facing sentinel errors (see internal/serve): match them with
+// errors.Is to map selection failures to responses without string
+// matching.
+var (
+	// ErrNotCalibrated reports a selection query against a (profile,
+	// collective) pair that has no fitted models yet.
+	ErrNotCalibrated = core.ErrNotCalibrated
+	// ErrUnknownProfile reports a query referencing an unknown platform
+	// profile.
+	ErrUnknownProfile = core.ErrUnknownProfile
 )
 
 // Re-exported types: the calibrated selector and its inputs/outputs.
@@ -82,7 +101,27 @@ type (
 	// UnsupportedVersionError is returned by LoadCalibration for a model
 	// file whose schema version this build does not understand.
 	UnsupportedVersionError = core.UnsupportedVersionError
+	// OpChoice is a collective-agnostic selection result — the winning
+	// algorithm of one collective family for (P, m), as returned by
+	// Selector.BestFor and served by the mpicollperfd daemon.
+	OpChoice = core.OpChoice
+	// ExtendedSelector applies the paper's model-based selection to any
+	// collective family calibrated through CalibrateExtended — the
+	// paper's future-work claim that the approach generalises beyond
+	// broadcast.
+	ExtendedSelector = selection.ExtendedSelector
+	// CollectiveSpec describes one (collective, algorithm) pair of an
+	// extended family: its implementation-derived model coefficients and
+	// the operation to measure (see CollectiveSpecs).
+	CollectiveSpec = estimate.CollectiveSpec
+	// Gamma is the platform's estimated γ(P) function (Models.Gamma
+	// carries the calibrated one).
+	Gamma = model.Gamma
 )
+
+// OpBcast names the broadcast collective family in Selector.BestFor
+// queries and daemon requests; Collectives lists the extended families.
+const OpBcast = core.OpBcast
 
 // NewMeasurementCache returns an in-memory measurement cache.
 func NewMeasurementCache() *MeasurementCache { return experiment.NewCache() }
@@ -172,3 +211,38 @@ func DefaultMeasureSettings() MeasureSettings { return experiment.DefaultSetting
 
 // BcastAlgorithms lists the six algorithms in a stable order.
 func BcastAlgorithms() []BcastAlgorithm { return coll.BcastAlgorithms() }
+
+// Collectives lists every extended collective family CalibrateExtended
+// and Selector.BestFor understand beyond OpBcast, sorted by name:
+// allgather, allreduce, alltoall, gather, reduce, reduce_scatter,
+// scatter.
+func Collectives() []string {
+	fams := estimate.AllSpecFamilies()
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CollectiveSpecs returns the estimation specs of one extended collective
+// family (every algorithm variant of the named collective), for
+// CalibrateExtended.
+func CollectiveSpecs(op string) ([]CollectiveSpec, error) {
+	specs, ok := estimate.AllSpecFamilies()[op]
+	if !ok {
+		return nil, fmt.Errorf("mpicollperf: unknown collective family %q (have %v)", op, Collectives())
+	}
+	return specs, nil
+}
+
+// CalibrateExtended fits per-algorithm Hockney parameters for an extended
+// collective family on a platform, reusing an already-estimated γ
+// (typically Models.Gamma of a calibrated Selector), and returns a
+// selector for that family — the generalisation of the paper's method
+// beyond broadcast. Selector.BestFor answers the same queries through the
+// bundled shape the daemon serves.
+func CalibrateExtended(pr Profile, specs []CollectiveSpec, g Gamma, cfg CalibrationConfig) (*ExtendedSelector, error) {
+	return selection.CalibrateExtended(pr, specs, g, cfg)
+}

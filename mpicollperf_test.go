@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -67,26 +68,76 @@ func TestFacadeWorkflow(t *testing.T) {
 // testSettings are quick measurement settings shared by the facade tests.
 var testSettings = MeasureSettings{Confidence: 0.95, Precision: 0.025, MinReps: 3, MaxReps: 30, Warmup: 1}
 
-// TestFacadeDeprecatedShim pins the v1 compatibility contract: the old
-// config-struct entry point still works and produces bit-identical models
-// to the options API (determinism makes exact comparison valid).
-func TestFacadeDeprecatedShim(t *testing.T) {
+// TestFacadeExtendedCollectives exercises the collective-generic surface:
+// Collectives/CollectiveSpecs enumeration, CalibrateExtended, the
+// Selector.BestFor bundle, and the daemon-facing sentinel errors.
+func TestFacadeExtendedCollectives(t *testing.T) {
+	fams := Collectives()
+	if len(fams) < 7 {
+		t.Fatalf("extended families = %v, want at least the seven paper collectives", fams)
+	}
+	if !sort.StringsAreSorted(fams) {
+		t.Fatalf("Collectives() not sorted: %v", fams)
+	}
+	if _, err := CollectiveSpecs("no_such_collective"); err == nil {
+		t.Fatal("unknown collective family must error")
+	}
+
 	profile, err := Grisou().WithNodes(12)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := CalibrationConfig{Procs: 6, Sizes: []int{8192, 524288}, Settings: testSettings}
-	old, err := CalibrateConfig(profile, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	neu, err := Calibrate(context.Background(), profile,
+	sel, err := Calibrate(context.Background(), profile,
 		WithProcs(6), WithSizes(8192, 524288), WithMeasureSettings(testSettings))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(old.Models, neu.Models) {
-		t.Fatalf("shim and options API disagree:\nold %+v\nnew %+v", old.Models, neu.Models)
+
+	// BestFor on the broadcast family agrees with Best.
+	bc, err := sel.BestFor(OpBcast, 12, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := sel.Best(12, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := OpBcast + "/" + best.Alg.String(); bc.Algorithm != want {
+		t.Fatalf("BestFor bcast = %q, Best = %q", bc.Algorithm, want)
+	}
+
+	// An uncalibrated extended family reports ErrNotCalibrated.
+	if _, err := sel.BestFor("gather", 12, 1<<20); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("uncalibrated gather error = %v, want ErrNotCalibrated", err)
+	}
+
+	// CalibrateExtended fits a family standalone; its Best matches what
+	// BestFor reports once the family is attached to the selector.
+	specs, err := CollectiveSpecs("gather")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CalibrationConfig{Procs: 6, Sizes: []int{8192, 524288}, Settings: testSettings}
+	es, err := CalibrateExtended(profile, specs, sel.Models.Gamma, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, name := es.Best(12, 1<<20)
+	if name == "" || es.Predict(i, 12, 1<<20) <= 0 {
+		t.Fatalf("extended best = (%d, %q)", i, name)
+	}
+	if err := sel.CalibrateExtendedOp(context.Background(), "gather", cfg); err != nil {
+		t.Fatal(err)
+	}
+	oc, err := sel.BestFor("gather", 12, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.Algorithm != name {
+		t.Fatalf("BestFor gather = %q, standalone CalibrateExtended best = %q", oc.Algorithm, name)
+	}
+	if oc.Predicted <= 0 {
+		t.Fatalf("predicted time %v", oc.Predicted)
 	}
 }
 

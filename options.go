@@ -111,12 +111,3 @@ func Calibrate(ctx context.Context, pr Profile, opts ...Option) (*Selector, erro
 	}
 	return core.CalibrateCtx(ctx, pr, o.cfg)
 }
-
-// CalibrateConfig is the pre-v2 calibration entry point, taking the raw
-// config struct.
-//
-// Deprecated: use Calibrate with functional options; CalibrateConfig is
-// kept so existing callers compile unchanged.
-func CalibrateConfig(pr Profile, cfg CalibrationConfig) (*Selector, error) {
-	return core.Calibrate(pr, cfg)
-}
